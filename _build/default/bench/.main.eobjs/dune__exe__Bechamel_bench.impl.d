@@ -1,0 +1,1 @@
+bench/bechamel_bench.ml: Analyze Bechamel Benchmark Env Hashtbl Instance List Lpp_core Lpp_datasets Lpp_harness Lpp_pattern Lpp_util Lpp_workload Measure Printf Staged String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/env.ml: Hashtbl List Lpp_core Lpp_datasets Lpp_harness Lpp_util Lpp_workload Option Printf Query_gen Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bechamel_bench Cmd Cmdliner Env Experiments List Printf String Term Unix

@@ -1,0 +1,79 @@
+(* Bechamel micro-benchmarks: per-call latency of each estimator on one
+   representative query per table/figure workload. Complements Figure 6's
+   wall-clock quartiles with properly sampled OLS estimates. *)
+
+open Bechamel
+open Toolkit
+
+(* a representative mid-size query per dataset: the first 5-rel-or-larger
+   supported pattern of the with-props set, falling back to the first query *)
+let representative (env : Env.t) ds_name =
+  let qs = Env.queries env ~with_props:true ds_name in
+  match
+    List.find_opt
+      (fun (q : Lpp_workload.Query_gen.query) ->
+        Lpp_pattern.Pattern.rel_count q.pattern >= 3)
+      qs
+  with
+  | Some q -> Some q.pattern
+  | None -> begin
+      match qs with
+      | q :: _ -> Some q.pattern
+      | [] -> None
+    end
+
+let tests (env : Env.t) =
+  List.concat_map
+    (fun (ds : Lpp_datasets.Dataset.t) ->
+      match representative env ds.name with
+      | None -> []
+      | Some pattern ->
+          let techs =
+            [
+              Lpp_harness.Technique.ours Lpp_core.Config.a_lhd ds.catalog;
+              Lpp_harness.Technique.neo4j ds.catalog;
+              Lpp_harness.Technique.csets ds;
+              Lpp_harness.Technique.sumrdf ds;
+            ]
+          in
+          List.filter_map
+            (fun (tech : Lpp_harness.Technique.t) ->
+              if tech.supports pattern then
+                Some
+                  (Test.make
+                     ~name:(Printf.sprintf "%s/%s" ds.name tech.name)
+                     (Staged.stage (fun () -> ignore (tech.estimate pattern))))
+              else None)
+            techs)
+    env.datasets
+
+let run (env : Env.t) =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let grouped = Test.make_grouped ~name:"estimate" ~fmt:"%s %s" (tests env) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    Analyze.merge ols instances
+      (List.map (fun instance -> Analyze.all ols instance raw) instances)
+  in
+  let table = Lpp_util.Ascii_table.create [ "estimator"; "ns/call (OLS)" ] in
+  (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> ()
+  | Some per_name ->
+      per_name |> Hashtbl.to_seq |> List.of_seq
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (name, ols_result) ->
+             let cell =
+               match Analyze.OLS.estimates ols_result with
+               | Some (est :: _) -> Lpp_harness.Report.ns_to_string est
+               | _ -> "n/a"
+             in
+             Lpp_util.Ascii_table.add_row table [ name; cell ]));
+  Lpp_util.Ascii_table.print
+    ~title:"Bechamel: estimator latency (one representative query per data set)"
+    table

@@ -1,0 +1,57 @@
+(* Benchmark driver: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md §5 for the experiment index).
+
+     dune exec bench/main.exe                    # everything, default scale
+     dune exec bench/main.exe -- --quick         # smaller datasets/query sets
+     dune exec bench/main.exe -- --only fig5,fig6
+     dune exec bench/main.exe -- --list          # available experiment ids *)
+
+let list_experiments () =
+  print_endline "available experiments:";
+  List.iter
+    (fun (id, descr, _) -> Printf.printf "  %-8s %s\n" id descr)
+    Experiments.all;
+  Printf.printf "  %-8s %s\n" "bechamel" "estimator latency microbenchmark"
+
+let run quick seed only =
+  let scale = if quick then Env.Quick else Env.Default in
+  let wanted id =
+    match only with
+    | None -> true
+    | Some ids -> List.mem id (String.split_on_char ',' ids)
+  in
+  let env = Env.make ~scale ~seed in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (id, _descr, f) -> if wanted id then f env)
+    Experiments.all;
+  if wanted "bechamel" then Bechamel_bench.run env;
+  Printf.printf "\n[bench] done in %.1fs\n" (Unix.gettimeofday () -. t0)
+
+let () =
+  let open Cmdliner in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Small datasets and query sets.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Master RNG seed.")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated experiment ids.")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
+  in
+  let term =
+    Term.(
+      const (fun l q s o -> if l then list_experiments () else run q s o)
+      $ list_flag $ quick $ seed $ only)
+  in
+  let info =
+    Cmd.info "lpp-bench"
+      ~doc:"Reproduce the tables and figures of the LPP cardinality estimation paper"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,225 @@
+(* lpp — command-line front end to the library.
+
+     dune exec bin/lpp.exe -- datasets
+     dune exec bin/lpp.exe -- workload --dataset snb --queries 20
+     dune exec bin/lpp.exe -- estimate --dataset cineasts --queries 15 --props
+     dune exec bin/lpp.exe -- plan --dataset snb
+     dune exec bin/lpp.exe -- query -d snb "(a:Person)-[:KNOWS*1..2]->(b)" *)
+
+open Cmdliner
+
+let dataset_of_name name ~seed =
+  match String.lowercase_ascii name with
+  | "snb" -> Lpp_datasets.Snb_gen.generate ~persons:500 ~seed ()
+  | "cineasts" -> Lpp_datasets.Cineasts_gen.generate ~movies:1200 ~seed ()
+  | "dbpedia" -> Lpp_datasets.Dbpedia_gen.generate ~entities:10_000 ~seed ()
+  | path when Sys.file_exists path -> begin
+      (* a saved graph file (see `lpp export` / Lpp_pgraph.Graph_io) *)
+      match Lpp_pgraph.Graph_io.load path with
+      | Ok graph -> Lpp_datasets.Dataset.make ~name:(Filename.basename path) graph
+      | Error msg -> failwith (Printf.sprintf "cannot load %s: %s" path msg)
+    end
+  | other ->
+      failwith
+        (Printf.sprintf "unknown dataset %S (snb|cineasts|dbpedia or a saved graph file)"
+           other)
+
+let dataset_arg =
+  Arg.(value & opt string "snb"
+       & info [ "dataset"; "d" ] ~docv:"NAME"
+           ~doc:"snb, cineasts, dbpedia, or the path of a saved graph file")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed")
+
+let queries_arg =
+  Arg.(value & opt int 20 & info [ "queries"; "n" ] ~docv:"N" ~doc:"Queries to generate")
+
+let props_arg =
+  Arg.(value & flag & info [ "props" ] ~doc:"Generate queries with property predicates")
+
+let gen_workload ds ~seed ~n ~props =
+  let flavour =
+    if props then Lpp_workload.Query_gen.With_props
+    else Lpp_workload.Query_gen.No_props
+  in
+  let spec =
+    { (Lpp_workload.Query_gen.default_spec flavour) with
+      target = n; attempts = 6 * n; truth_budget = 10_000_000 }
+  in
+  Lpp_workload.Query_gen.generate (Lpp_util.Rng.create (seed + 1000)) ds spec
+
+(* ---- datasets ------------------------------------------------------- *)
+
+let cmd_datasets =
+  let run seed =
+    let t = Lpp_util.Ascii_table.create Lpp_datasets.Dataset.summary_headers in
+    List.iter
+      (fun name ->
+        Lpp_util.Ascii_table.add_row t
+          (Lpp_datasets.Dataset.summary_row (dataset_of_name name ~seed)))
+      [ "snb"; "cineasts"; "dbpedia" ];
+    Lpp_util.Ascii_table.print ~title:"Generated data sets" t
+  in
+  Cmd.v (Cmd.info "datasets" ~doc:"Summarise the three synthetic data sets")
+    Term.(const run $ seed_arg)
+
+(* ---- workload ------------------------------------------------------- *)
+
+let cmd_workload =
+  let run name seed n props =
+    let ds = dataset_of_name name ~seed in
+    let qs = gen_workload ds ~seed ~n ~props in
+    let t = Lpp_util.Ascii_table.create [ "id"; "shape"; "size"; "truth"; "pattern" ] in
+    List.iter
+      (fun (q : Lpp_workload.Query_gen.query) ->
+        Lpp_util.Ascii_table.add_row t
+          [ string_of_int q.id;
+            Lpp_pattern.Shape.to_string q.shape;
+            string_of_int q.size;
+            string_of_int q.true_card;
+            Format.asprintf "%a" (Lpp_pattern.Pattern.pp ~names:(Some ds.graph))
+              q.pattern ])
+      qs;
+    Lpp_util.Ascii_table.print
+      ~title:(Printf.sprintf "Workload on %s (%d queries)" ds.name (List.length qs))
+      t
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Generate an anchored query workload with ground truth")
+    Term.(const run $ dataset_arg $ seed_arg $ queries_arg $ props_arg)
+
+(* ---- estimate ------------------------------------------------------- *)
+
+let cmd_estimate =
+  let run name seed n props =
+    let ds = dataset_of_name name ~seed in
+    let qs = gen_workload ds ~seed ~n ~props in
+    let techs = Lpp_harness.Technique.our_configurations ds in
+    let t =
+      Lpp_util.Ascii_table.create
+        ([ "id"; "truth" ]
+        @ List.map (fun (x : Lpp_harness.Technique.t) -> x.name) techs)
+    in
+    List.iter
+      (fun (q : Lpp_workload.Query_gen.query) ->
+        Lpp_util.Ascii_table.add_row t
+          ([ string_of_int q.id; string_of_int q.true_card ]
+          @ List.map
+              (fun (x : Lpp_harness.Technique.t) ->
+                Printf.sprintf "%.1f" (x.estimate q.pattern))
+              techs))
+      qs;
+    Lpp_util.Ascii_table.print
+      ~title:(Printf.sprintf "Estimates on %s" ds.name)
+      t;
+    (* summary line per technique *)
+    let t2 = Lpp_util.Ascii_table.create [ "technique"; "q-error median [q25, q75]" ] in
+    List.iter
+      (fun (x : Lpp_harness.Technique.t) ->
+        let ms = Lpp_harness.Runner.run ~measure_time:false x qs in
+        Lpp_util.Ascii_table.add_row t2
+          [ x.name; Lpp_harness.Report.qerr_cell (Lpp_harness.Runner.q_errors ms) ])
+      techs;
+    Lpp_util.Ascii_table.print ~title:"Accuracy summary" t2
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Estimate a generated workload with every configuration of our technique")
+    Term.(const run $ dataset_arg $ seed_arg $ queries_arg $ props_arg)
+
+(* ---- plan ----------------------------------------------------------- *)
+
+let cmd_plan =
+  let run name seed n props =
+    let ds = dataset_of_name name ~seed in
+    let qs = gen_workload ds ~seed ~n ~props in
+    List.iter
+      (fun (q : Lpp_workload.Query_gen.query) ->
+        Printf.printf "\n-- query %d (%s, truth %d)\n   %s\n" q.id
+          (Lpp_pattern.Shape.to_string q.shape)
+          q.true_card
+          (Format.asprintf "%a" (Lpp_pattern.Pattern.pp ~names:(Some ds.graph))
+             q.pattern);
+        let alg = Lpp_pattern.Planner.plan q.pattern in
+        List.iter
+          (fun (op, card) ->
+            Printf.printf "   %-44s -> %10.2f\n"
+              (Format.asprintf "%a" Lpp_pattern.Algebra.pp_op op)
+              card)
+          (Lpp_core.Estimator.trace Lpp_core.Config.a_lhd ds.catalog alg))
+      (List.filteri (fun i _ -> i < 5) qs)
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Show operator sequences and per-operator cardinality traces")
+    Term.(const run $ dataset_arg $ seed_arg $ queries_arg $ props_arg)
+
+(* ---- export --------------------------------------------------------- *)
+
+let cmd_export =
+  let run name seed out =
+    let ds = dataset_of_name name ~seed in
+    Lpp_pgraph.Graph_io.save ds.graph out;
+    Printf.printf "wrote %s (%d nodes, %d relationships) to %s\n" ds.name
+      (Lpp_pgraph.Graph.node_count ds.graph)
+      (Lpp_pgraph.Graph.rel_count ds.graph)
+      out
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output path")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Serialise a generated data set to a graph file")
+    Term.(const run $ dataset_arg $ seed_arg $ out)
+
+(* ---- query ---------------------------------------------------------- *)
+
+let cmd_query =
+  let run name seed queries =
+    let ds = dataset_of_name name ~seed in
+    List.iter
+      (fun q ->
+        match Lpp_pattern.Parse.parse ds.graph q with
+        | Error msg -> Printf.eprintf "parse error in %S: %s\n" q msg
+        | Ok { pattern; _ } ->
+            Printf.printf "\n%s\n  shape %s, size %d\n" q
+              (Lpp_pattern.Shape.to_string (Lpp_pattern.Shape.classify pattern))
+              (Lpp_pattern.Pattern.size pattern);
+            let truth =
+              match Lpp_exec.Matcher.count ~budget:50_000_000 ds.graph pattern with
+              | Lpp_exec.Matcher.Count c -> string_of_int c
+              | Budget_exceeded -> "(budget exceeded)"
+            in
+            Printf.printf "  exact count: %s\n" truth;
+            let alg = Lpp_pattern.Planner.plan pattern in
+            Printf.printf "  operator sequence: %s\n"
+              (Format.asprintf "%a" Lpp_pattern.Algebra.pp alg);
+            List.iter
+              (fun config ->
+                Printf.printf "  %-10s %.2f\n"
+                  (Lpp_core.Config.name config)
+                  (Lpp_core.Estimator.estimate config ds.catalog alg))
+              (Lpp_core.Config.all @ [ Lpp_core.Config.a_lhdt ]))
+      queries
+  in
+  let queries =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"PATTERN"
+         ~doc:"openCypher-style patterns, e.g. \"(a:Person)-[:KNOWS]->(b)\"")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Parse openCypher-style patterns, estimate and count them")
+    Term.(const run $ dataset_arg $ seed_arg $ queries)
+
+let () =
+  let info =
+    Cmd.info "lpp" ~version:"1.0.0"
+      ~doc:"Label probability propagation: cardinality estimation for property graphs"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ cmd_datasets; cmd_workload; cmd_estimate; cmd_plan; cmd_query;
+            cmd_export ]))

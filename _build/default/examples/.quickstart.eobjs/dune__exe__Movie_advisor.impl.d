@@ -1,0 +1,1 @@
+examples/movie_advisor.ml: List Lpp_core Lpp_datasets Lpp_exec Lpp_harness Lpp_pattern Lpp_pgraph Lpp_util Pattern Printf

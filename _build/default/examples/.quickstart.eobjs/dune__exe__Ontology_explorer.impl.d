@@ -1,0 +1,1 @@
+examples/ontology_explorer.ml: Catalog Label_hierarchy List Lpp_core Lpp_datasets Lpp_exec Lpp_harness Lpp_pattern Lpp_pgraph Lpp_stats Lpp_util Lpp_workload Pattern Printf String

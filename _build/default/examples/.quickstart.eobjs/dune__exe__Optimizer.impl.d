@@ -1,0 +1,1 @@
+examples/optimizer.ml: Float List Lpp_core Lpp_datasets Lpp_exec Lpp_pattern Lpp_util Option Printf String

@@ -1,0 +1,1 @@
+examples/optimizer.mli:

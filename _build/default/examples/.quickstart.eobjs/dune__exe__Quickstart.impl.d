@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algebra Format Graph Graph_builder List Lpp_core Lpp_exec Lpp_harness Lpp_pattern Lpp_pgraph Lpp_stats Lpp_util Pattern Planner Printf Shape Value

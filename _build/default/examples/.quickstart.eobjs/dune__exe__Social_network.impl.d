@@ -1,0 +1,1 @@
+examples/social_network.ml: List Lpp_datasets Lpp_exec Lpp_harness Lpp_pattern Lpp_pgraph Lpp_util Pattern Printf Shape

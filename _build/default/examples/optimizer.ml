@@ -1,0 +1,98 @@
+(* Why cardinality estimation matters (the paper's motivation, Section 1):
+   a cost-based optimizer uses the estimator to choose among operator orders.
+   For several queries we enumerate random linearisations plus the heuristic
+   one, cost each with A-LHD estimates (sum of intermediate cardinalities),
+   pick the estimated-cheapest, and compare its *actual* work — the sum of
+   exact intermediate result sizes — against the best, median and worst
+   orders.
+
+   Run with: dune exec examples/optimizer.exe *)
+
+let queries =
+  [
+    "(f:Forum)-[:HAS_MEMBER]->(p:Person)-[:IS_LOCATED_IN]->(c:City)";
+    "(t:Tag)<-[:HAS_TAG]-(m:Post)-[:HAS_CREATOR]->(p:Person)-[:STUDY_AT]->(u:University)";
+    "(a:Person)-[:KNOWS]->(b:Person)-[:HAS_INTEREST]->(t:Tag)<-[:HAS_INTEREST]-(a)";
+    "(c:Comment)-[:REPLY_OF]->(m:Post)<-[:LIKES]-(p:Person)-[:IS_LOCATED_IN]->(city:City)";
+  ]
+
+let estimated_cost catalog alg =
+  List.fold_left
+    (fun acc (_, card) -> acc +. card)
+    0.0
+    (Lpp_core.Estimator.trace Lpp_core.Config.a_lhd catalog alg)
+
+let actual_cost graph alg =
+  match
+    Lpp_exec.Reference.intermediate_sizes ~max_intermediate:3_000_000 graph alg
+  with
+  | Some sizes -> Some (List.fold_left ( + ) 0 sizes)
+  | None -> None
+
+let () =
+  print_endline "generating SNB-like social network…";
+  let ds = Lpp_datasets.Snb_gen.generate ~persons:350 ~seed:77 () in
+  let rng = Lpp_util.Rng.create 99 in
+  let table =
+    Lpp_util.Ascii_table.create
+      [ "query"; "orders"; "best"; "median"; "worst"; "heuristic";
+        "picked-by-estimate" ]
+  in
+  List.iter
+    (fun q ->
+      match Lpp_pattern.Parse.parse ds.graph q with
+      | Error msg -> Printf.eprintf "parse error: %s\n" msg
+      | Ok { pattern; _ } ->
+          let heuristic = Lpp_pattern.Planner.plan pattern in
+          let candidates =
+            heuristic
+            :: List.init 40 (fun _ -> Lpp_pattern.Planner.random_order rng pattern)
+          in
+          (* keep only orders whose exact evaluation stays within bounds *)
+          let measured =
+            List.filter_map
+              (fun alg ->
+                Option.map
+                  (fun actual -> (alg, estimated_cost ds.catalog alg, actual))
+                  (actual_cost ds.graph alg))
+              candidates
+          in
+          (match measured with
+          | [] -> ()
+          | (h_alg, _, h_actual) :: _ ->
+              ignore h_alg;
+              let actuals =
+                List.map (fun (_, _, a) -> float_of_int a) measured
+                |> List.sort Float.compare
+              in
+              let best = List.hd actuals in
+              let worst = List.nth actuals (List.length actuals - 1) in
+              let median_cost =
+                List.nth actuals (List.length actuals / 2)
+              in
+              (* the optimizer's pick: minimal estimated cost *)
+              let _, _, picked_actual =
+                List.fold_left
+                  (fun ((_, best_est, _) as best) ((_, est, _) as cand) ->
+                    if est < best_est then cand else best)
+                  (List.hd measured) (List.tl measured)
+              in
+              Lpp_util.Ascii_table.add_row table
+                [ (let short = String.sub q 0 (min 34 (String.length q)) in
+                   short ^ if String.length q > 34 then "…" else "");
+                  string_of_int (List.length measured);
+                  Printf.sprintf "%.0f" best;
+                  Printf.sprintf "%.0f" median_cost;
+                  Printf.sprintf "%.0f" worst;
+                  Printf.sprintf "%.0f" (float_of_int h_actual);
+                  Printf.sprintf "%.0f" (float_of_int picked_actual) ]))
+    queries;
+  Lpp_util.Ascii_table.print
+    ~title:
+      "Actual work (sum of exact intermediate result sizes) per operator order"
+    table;
+  print_endline
+    "\nThe estimate-guided pick usually sits near the best order and well away\n\
+     from the worst — the reason query optimizers need cardinality estimates,\n\
+     and why their accuracy/latency trade-off (Figure 1) matters. Cyclic\n\
+     patterns, the hardest to estimate (Figure 5), can still mislead the pick."

@@ -1,0 +1,93 @@
+(* Social-network workload: the query shapes the paper's introduction
+   motivates, run against the SNB-like dataset. For each query we print the
+   estimates of every configuration of our technique plus Neo4j's estimator,
+   next to the exact cardinality.
+
+   Run with: dune exec examples/social_network.exe *)
+
+open Lpp_pattern
+
+let node = Pattern.node_spec
+
+let rel = Pattern.rel_spec
+
+let queries graph =
+  [
+    ( "friends-of-friends",
+      (* (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) *)
+      Pattern.of_spec graph
+        [ node ~labels:[ "Person" ] (); node ~labels:[ "Person" ] ();
+          node ~labels:[ "Person" ] () ]
+        [ rel ~types:[ "KNOWS" ] ~src:0 ~dst:1 ();
+          rel ~types:[ "KNOWS" ] ~src:1 ~dst:2 () ] );
+    ( "posts-in-moderated-forum",
+      (* (f:Forum)-[:HAS_MODERATOR]->(p:Person), (f)-[:CONTAINER_OF]->(post:Post) *)
+      Pattern.of_spec graph
+        [ node ~labels:[ "Forum" ] (); node ~labels:[ "Person" ] ();
+          node ~labels:[ "Post" ] () ]
+        [ rel ~types:[ "HAS_MODERATOR" ] ~src:0 ~dst:1 ();
+          rel ~types:[ "CONTAINER_OF" ] ~src:0 ~dst:2 () ] );
+    ( "creator-liked-own-message",
+      (* cyclic: (p:Person)<-[:HAS_CREATOR]-(m:Message), (p)-[:LIKES]->(m) *)
+      Pattern.of_spec graph
+        [ node ~labels:[ "Person" ] (); node ~labels:[ "Message" ] () ]
+        [ rel ~types:[ "HAS_CREATOR" ] ~src:1 ~dst:0 ();
+          rel ~types:[ "LIKES" ] ~src:0 ~dst:1 () ] );
+    ( "interest-in-common-with-friend",
+      (* (a:Person)-[:KNOWS]->(b:Person), both HAS_INTEREST the same (t:Tag) *)
+      Pattern.of_spec graph
+        [ node ~labels:[ "Person" ] (); node ~labels:[ "Person" ] ();
+          node ~labels:[ "Tag" ] () ]
+        [ rel ~types:[ "KNOWS" ] ~src:0 ~dst:1 ();
+          rel ~types:[ "HAS_INTEREST" ] ~src:0 ~dst:2 ();
+          rel ~types:[ "HAS_INTEREST" ] ~src:1 ~dst:2 () ] );
+    ( "students-messaging-from-chrome",
+      (* (p:Person)<-[:HAS_CREATOR]-(m:Comment {browserUsed: "Chrome"}) *)
+      Pattern.of_spec graph
+        [ node ~labels:[ "Person" ] ();
+          node ~labels:[ "Message"; "Comment" ]
+            ~props:[ ("browserUsed", Pattern.Eq (Lpp_pgraph.Value.Str "Chrome")) ]
+            () ]
+        [ rel ~types:[ "HAS_CREATOR" ] ~src:1 ~dst:0 () ] );
+  ]
+
+let () =
+  print_endline "generating SNB-like social network…";
+  let ds = Lpp_datasets.Snb_gen.generate ~persons:600 ~seed:2024 () in
+  List.iter2
+    (fun h v -> Printf.printf "  %-10s %s\n" h v)
+    Lpp_datasets.Dataset.summary_headers
+    (Lpp_datasets.Dataset.summary_row ds);
+  let techniques = Lpp_harness.Technique.our_configurations ds in
+  let table =
+    Lpp_util.Ascii_table.create
+      ([ "query"; "shape"; "truth" ]
+      @ List.map (fun (t : Lpp_harness.Technique.t) -> t.name) techniques)
+  in
+  List.iter
+    (fun (name, pattern) ->
+      let truth =
+        match Lpp_exec.Matcher.count ds.graph pattern with
+        | Lpp_exec.Matcher.Count c -> float_of_int c
+        | Budget_exceeded -> nan
+      in
+      let cells =
+        List.map
+          (fun (t : Lpp_harness.Technique.t) ->
+            let est = t.estimate pattern in
+            Printf.sprintf "%.1f (q%.1f)" est
+              (Lpp_harness.Qerror.q_error ~truth ~estimate:est))
+          techniques
+      in
+      Lpp_util.Ascii_table.add_row table
+        ([ name;
+           Shape.to_string (Shape.classify pattern);
+           Printf.sprintf "%.0f" truth ]
+        @ cells))
+    (queries ds.graph);
+  Lpp_util.Ascii_table.print ~title:"Estimates per configuration (q = q-error)"
+    table;
+  print_endline
+    "\nNote how the cyclic query is hardest (MergeOn applies the independence\n\
+     assumption) and how A-LHD's optional statistics pay off on multi-label\n\
+     patterns — the trends of the paper's Figure 5a."

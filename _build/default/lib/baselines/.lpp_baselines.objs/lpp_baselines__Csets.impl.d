@@ -1,0 +1,1 @@
+lib/baselines/csets.ml: Array Bool Catalog Float Graph Hashtbl Int List Lpp_pattern Lpp_pgraph Lpp_stats Lpp_util Map Option Pattern Prop_stats

@@ -1,0 +1,1 @@
+lib/baselines/csets.mli: Lpp_pattern Lpp_pgraph Lpp_stats

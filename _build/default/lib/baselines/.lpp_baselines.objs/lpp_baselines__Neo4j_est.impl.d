@@ -1,0 +1,1 @@
+lib/baselines/neo4j_est.ml: Array Catalog Direction Lpp_pattern Lpp_pgraph Lpp_stats Pattern

@@ -1,0 +1,1 @@
+lib/baselines/neo4j_est.mli: Lpp_pattern Lpp_stats

@@ -1,0 +1,1 @@
+lib/baselines/sumrdf.ml: Array Float Graph Hashtbl Int List Lpp_pattern Lpp_pgraph Lpp_stats Lpp_util Option Pattern Prop_stats Queue

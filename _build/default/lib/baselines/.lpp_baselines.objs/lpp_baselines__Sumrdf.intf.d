@@ -1,0 +1,1 @@
+lib/baselines/sumrdf.mli: Lpp_pattern Lpp_pgraph

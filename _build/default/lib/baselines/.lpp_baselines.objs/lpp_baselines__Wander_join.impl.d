@@ -1,0 +1,1 @@
+lib/baselines/wander_join.ml: Array Graph List Lpp_pattern Lpp_pgraph Lpp_util Pattern Queue

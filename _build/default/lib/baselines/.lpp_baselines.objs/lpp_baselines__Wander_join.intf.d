@@ -1,0 +1,1 @@
+lib/baselines/wander_join.mli: Lpp_pattern Lpp_pgraph Lpp_util

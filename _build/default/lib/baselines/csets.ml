@@ -1,0 +1,220 @@
+open Lpp_pgraph
+open Lpp_pattern
+open Lpp_stats
+
+(* A characteristic-set element: relationship type plus orientation. *)
+module Elem = struct
+  type t = { typ : int; out : bool }
+
+  let compare a b =
+    match Int.compare a.typ b.typ with
+    | 0 -> Bool.compare a.out b.out
+    | c -> c
+end
+
+module ElemMap = Map.Make (Elem)
+
+type cset = {
+  mutable node_count : int;
+  mutable occurrences : int ElemMap.t;  (* total incident rels per element *)
+}
+
+type t = {
+  sets : (Elem.t list, cset) Hashtbl.t;
+  catalog : Catalog.t;
+}
+
+let node_elements g nd =
+  let add m typ out =
+    let key = { Elem.typ; out } in
+    ElemMap.update key
+      (fun c -> Some (1 + Option.value ~default:0 c))
+      m
+  in
+  let m = ElemMap.empty in
+  let m =
+    Array.fold_left
+      (fun m r -> add m (Graph.rel_type g r) true)
+      m (Graph.out_rels g nd)
+  in
+  Array.fold_left
+    (fun m r -> add m (Graph.rel_type g r) false)
+    m (Graph.in_rels g nd)
+
+let build g catalog =
+  let sets = Hashtbl.create 256 in
+  Graph.iter_nodes g (fun nd ->
+      let elems = node_elements g nd in
+      let key = List.map fst (ElemMap.bindings elems) in
+      let entry =
+        match Hashtbl.find_opt sets key with
+        | Some e -> e
+        | None ->
+            let e = { node_count = 0; occurrences = ElemMap.empty } in
+            Hashtbl.add sets key e;
+            e
+      in
+      entry.node_count <- entry.node_count + 1;
+      entry.occurrences <-
+        ElemMap.union (fun _ a b -> Some (a + b)) entry.occurrences elems);
+  { sets; catalog }
+
+let supports (p : Pattern.t) =
+  Array.for_all
+    (fun (r : Pattern.rel_pat) ->
+      r.r_directed && Array.length r.r_types = 1 && r.r_hops = None)
+    p.rels
+
+let fi = float_of_int
+
+let safe_div num den = if den <= 0.0 then 0.0 else num /. den
+
+(* Greedy decomposition into non-overlapping stars: repeatedly pick the node
+   with the most unassigned incident relationships as a centre. Returns the
+   list of (centre, rel indices). *)
+let star_decomposition (p : Pattern.t) =
+  let m = Pattern.rel_count p in
+  let assigned = Array.make m false in
+  let stars = ref [] in
+  let remaining = ref m in
+  while !remaining > 0 do
+    let best = ref (-1) and best_count = ref 0 in
+    for v = 0 to Pattern.node_count p - 1 do
+      let c =
+        List.length
+          (List.filter (fun r -> not assigned.(r)) (Pattern.incident_rels p v))
+      in
+      if c > !best_count then begin
+        best := v;
+        best_count := c
+      end
+    done;
+    let centre = !best in
+    let rels =
+      List.filter (fun r -> not assigned.(r)) (Pattern.incident_rels p centre)
+    in
+    List.iter
+      (fun r ->
+        assigned.(r) <- true;
+        decr remaining)
+      rels;
+    stars := (centre, rels) :: !stars
+  done;
+  List.rev !stars
+
+(* Expected number of (star-centre, incident-rel…) tuples for one star, from
+   the characteristic-set counts. Repeated query elements use falling
+   factorials of the average multiplicity to respect edge isomorphism. *)
+let star_cardinality t (p : Pattern.t) centre rels =
+  (* multiset of query elements *)
+  let query =
+    List.fold_left
+      (fun m ri ->
+        let r = p.rels.(ri) in
+        let out = r.r_src = centre in
+        let key = { Elem.typ = r.r_types.(0); out } in
+        ElemMap.update key (fun c -> Some (1 + Option.value ~default:0 c)) m)
+      ElemMap.empty rels
+  in
+  Hashtbl.fold
+    (fun _key (cs : cset) acc ->
+      let covers =
+        ElemMap.for_all (fun e _ -> ElemMap.mem e cs.occurrences) query
+      in
+      if not covers then acc
+      else begin
+        let per_node = fi cs.node_count in
+        let factor =
+          ElemMap.fold
+            (fun e k f ->
+              let mult = safe_div (fi (ElemMap.find e cs.occurrences)) per_node in
+              let rec falling m i =
+                if i >= k then 1.0
+                else Float.max 0.0 (m -. fi i) *. falling m (i + 1)
+              in
+              f *. falling mult 0)
+            query 1.0
+        in
+        acc +. (per_node *. factor)
+      end)
+    t.sets 0.0
+
+let label_and_prop_factor t (p : Pattern.t) =
+  let total = fi (Catalog.nc_star t.catalog) in
+  let stats = Catalog.props t.catalog in
+  let node_factor =
+    Array.fold_left
+      (fun acc (np : Pattern.node_pat) ->
+        let labels =
+          Array.fold_left
+            (fun f l -> f *. safe_div (fi (Catalog.nc t.catalog l)) total)
+            1.0 np.n_labels
+        in
+        let props =
+          Array.fold_left
+            (fun f (key, pred) ->
+              f *. Prop_stats.selectivity stats Any_node ~key pred)
+            1.0 np.n_props
+        in
+        acc *. labels *. props)
+      1.0 p.nodes
+  in
+  let rel_factor =
+    Array.fold_left
+      (fun acc (r : Pattern.rel_pat) ->
+        Array.fold_left
+          (fun f (key, pred) ->
+            f *. Prop_stats.selectivity stats Any_rel ~key pred)
+          acc r.r_props)
+      1.0 p.rels
+  in
+  node_factor *. rel_factor
+
+let estimate t (p : Pattern.t) =
+  if not (supports p) then 0.0
+  else if Pattern.rel_count p = 0 then
+    fi (Catalog.nc_star t.catalog) *. label_and_prop_factor t p
+  else begin
+    let stars = star_decomposition p in
+    let star_product =
+      List.fold_left
+        (fun acc (centre, rels) -> acc *. star_cardinality t p centre rels)
+        1.0 stars
+    in
+    (* Independence join factor: every node appearing in more than one star
+       contributes 1/NC(✱) per extra appearance. *)
+    let appearances = Array.make (Pattern.node_count p) 0 in
+    List.iter
+      (fun (centre, rels) ->
+        let touched = Hashtbl.create 8 in
+        Hashtbl.replace touched centre ();
+        List.iter
+          (fun ri ->
+            let r = p.rels.(ri) in
+            Hashtbl.replace touched r.r_src ();
+            Hashtbl.replace touched r.r_dst ())
+          rels;
+        Hashtbl.iter (fun v () -> appearances.(v) <- appearances.(v) + 1) touched)
+      stars;
+    let total = fi (Catalog.nc_star t.catalog) in
+    let join_factor =
+      Array.fold_left
+        (fun acc a ->
+          if a > 1 then acc *. ((1.0 /. total) ** fi (a - 1)) else acc)
+        1.0 appearances
+    in
+    star_product *. join_factor *. label_and_prop_factor t p
+  end
+
+let distinct_sets t = Hashtbl.length t.sets
+
+let memory_bytes t =
+  let open Lpp_util.Mem_size in
+  Hashtbl.fold
+    (fun key cs acc ->
+      acc
+      + table_entry
+          ~key_bytes:(List.length key * 2 * int_entry)
+          ~value_bytes:
+            (int_entry + (ElemMap.cardinal cs.occurrences * 3 * int_entry)))
+    t.sets 0

@@ -1,0 +1,80 @@
+open Lpp_pgraph
+open Lpp_pattern
+open Lpp_stats
+
+type t = { catalog : Catalog.t }
+
+let build catalog = { catalog }
+
+(* Gubichev's formulas cover every fixed-length pattern; variable-length
+   paths (our extension) are outside its model. *)
+let supports (p : Pattern.t) = not (Pattern.has_var_length p)
+
+let fi = float_of_int
+
+let property_selectivity = 0.10
+
+let safe_div num den = if den <= 0.0 then 0.0 else num /. den
+
+(* Label-adjusted cardinality of a single pattern node under independence. *)
+let node_card t (np : Pattern.node_pat) =
+  let total = fi (Catalog.nc_star t.catalog) in
+  let label_factor =
+    Array.fold_left
+      (fun acc l -> acc *. safe_div (fi (Catalog.nc t.catalog l)) total)
+      1.0 np.n_labels
+  in
+  let prop_factor =
+    property_selectivity ** fi (Array.length np.n_props)
+  in
+  total *. label_factor *. prop_factor
+
+(* Pair count from one endpoint's perspective, taking the most selective of
+   the node's labels (Neo4j consults its label-specific counters and keeps
+   the tightest). *)
+let side_count t (np : Pattern.node_pat) ~dir ~types =
+  let for_label node = Catalog.simple_rc t.catalog ~dir ~node ~types in
+  if Array.length np.n_labels = 0 then for_label None
+  else
+    Array.fold_left
+      (fun acc l -> min acc (for_label (Some l)))
+      max_int np.n_labels
+
+let estimate t (p : Pattern.t) =
+  let total = fi (Catalog.nc_star t.catalog) in
+  let node_cards = Array.map (node_card t) p.nodes in
+  let nodes_product = Array.fold_left ( *. ) 1.0 node_cards in
+  let rel_factor =
+    Array.fold_left
+      (fun acc (r : Pattern.rel_pat) ->
+        let dir_src, dir_dst =
+          if r.r_directed then (Direction.Out, Direction.In)
+          else (Direction.Both, Direction.Both)
+        in
+        let from_src = side_count t p.nodes.(r.r_src) ~dir:dir_src ~types:r.r_types in
+        let from_dst = side_count t p.nodes.(r.r_dst) ~dir:dir_dst ~types:r.r_types in
+        let bound = fi (min from_src from_dst) in
+        (* Selectivity of the relationship relative to the unlabeled cross
+           product of its endpoints; label factors are already applied in the
+           node cardinalities, so scale the bound by the inverse of the label
+           selectivities it already incorporates. *)
+        let label_sel np =
+          Array.fold_left
+            (fun acc l ->
+              acc *. safe_div (fi (Catalog.nc t.catalog l)) total)
+            1.0 np.Pattern.n_labels
+        in
+        let denom =
+          total *. total
+          *. label_sel p.nodes.(r.r_src)
+          *. label_sel p.nodes.(r.r_dst)
+        in
+        let prop_factor =
+          property_selectivity ** fi (Array.length r.r_props)
+        in
+        acc *. safe_div bound denom *. prop_factor)
+      1.0 p.rels
+  in
+  nodes_product *. rel_factor
+
+let memory_bytes t = Catalog.memory_bytes_simple t.catalog

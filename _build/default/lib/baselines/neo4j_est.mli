@@ -1,0 +1,21 @@
+(** Gubichev's cardinality estimator, as adopted by Neo4j (Section 2).
+
+    Statistics: per-label node counts and (label, type, direction) pair counts
+    — the "simple" half of our {!Lpp_stats.Catalog}. Estimation combines
+    per-node label selectivities and per-relationship selectivities under full
+    independence; relationship selectivity takes the tighter of the two
+    endpoint-side bounds, which is what produces the systematic underestimation
+    on long chains that the paper reports. Property predicates use the
+    classical fixed 10 % selectivity, as Neo4j does. *)
+
+type t
+
+val build : Lpp_stats.Catalog.t -> t
+
+val estimate : t -> Lpp_pattern.Pattern.t -> float
+
+val supports : Lpp_pattern.Pattern.t -> bool
+(** [true] for every pattern in the paper's query sets; only variable-length
+    paths (this library's extension) are out of model. *)
+
+val memory_bytes : t -> int

@@ -1,0 +1,158 @@
+open Lpp_pgraph
+open Lpp_pattern
+
+type t = { graph : Graph.t; by_type : int array array }
+
+let build graph =
+  let n_types = Graph.rel_type_count graph in
+  let counts = Array.make n_types 0 in
+  Graph.iter_rels graph (fun r ->
+      let ty = Graph.rel_type graph r in
+      counts.(ty) <- counts.(ty) + 1);
+  let by_type = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make n_types 0 in
+  Graph.iter_rels graph (fun r ->
+      let ty = Graph.rel_type graph r in
+      by_type.(ty).(fill.(ty)) <- r;
+      fill.(ty) <- fill.(ty) + 1);
+  { graph; by_type }
+
+type config = WJ_1 | WJ_100 | WJ_R
+
+let config_name = function WJ_1 -> "WJ-1" | WJ_100 -> "WJ-100" | WJ_R -> "WJ-R"
+
+let walks t = function
+  | WJ_1 -> 1
+  | WJ_100 -> 100
+  | WJ_R -> max 1000 (Graph.rel_count t.graph / 20)
+
+let supports (p : Pattern.t) =
+  Array.for_all
+    (fun (r : Pattern.rel_pat) ->
+      r.r_directed && Array.length r.r_types = 1 && Array.length r.r_props = 0
+      && r.r_hops = None)
+    p.rels
+  && Array.for_all
+       (fun (n : Pattern.node_pat) ->
+         Array.length n.n_labels <= 1 && Array.length n.n_props = 0)
+       p.nodes
+  && Pattern.rel_count p > 0
+
+(* Relationship processing order: BFS over the pattern from the node with the
+   highest degree, cycle-closers in place (they are sampled and rejected). *)
+type step = { prel : int; from_src : bool; closes : bool }
+
+let walk_order (p : Pattern.t) =
+  let n = Pattern.node_count p in
+  let degrees = Array.init n (Pattern.degree p) in
+  let start = ref 0 in
+  for v = 1 to n - 1 do
+    if degrees.(v) > degrees.(!start) then start := v
+  done;
+  let bound = Array.make n false in
+  let rel_done = Array.make (Pattern.rel_count p) false in
+  bound.(!start) <- true;
+  let steps = ref [] in
+  let queue = Queue.create () in
+  Queue.add !start queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun prel ->
+        if not rel_done.(prel) then begin
+          rel_done.(prel) <- true;
+          let r = p.rels.(prel) in
+          let from_src = r.r_src = u in
+          let w = if from_src then r.r_dst else r.r_src in
+          if bound.(w) then steps := { prel; from_src; closes = true } :: !steps
+          else begin
+            bound.(w) <- true;
+            steps := { prel; from_src; closes = false } :: !steps;
+            Queue.add w queue
+          end
+        end)
+      (Pattern.incident_rels p u)
+  done;
+  Array.of_list (List.rev !steps)
+
+let node_ok g (np : Pattern.node_pat) nd =
+  Array.for_all (fun l -> Graph.node_has_label g nd l) np.n_labels
+
+let one_walk rng t (p : Pattern.t) steps =
+  let g = t.graph in
+  let n = Pattern.node_count p in
+  let m = Pattern.rel_count p in
+  let node_of = Array.make n (-1) in
+  let rel_of = Array.make m (-1) in
+  let rel_used r = Array.exists (fun x -> x = r) rel_of in
+  let weight = ref 1.0 in
+  let ok = ref true in
+  Array.iteri
+    (fun i { prel; from_src; closes } ->
+      if !ok then begin
+        let rp = p.rels.(prel) in
+        let typ = rp.r_types.(0) in
+        if i = 0 then begin
+          (* seed: uniform relationship of the required type *)
+          let pool = t.by_type.(typ) in
+          if Array.length pool = 0 then ok := false
+          else begin
+            let r = pool.(Lpp_util.Rng.int rng (Array.length pool)) in
+            weight := !weight *. float_of_int (Array.length pool);
+            let s = Graph.rel_src g r and d = Graph.rel_dst g r in
+            if node_ok g p.nodes.(rp.r_src) s && node_ok g p.nodes.(rp.r_dst) d
+            then begin
+              rel_of.(prel) <- r;
+              node_of.(rp.r_src) <- s;
+              node_of.(rp.r_dst) <- d
+            end
+            else ok := false
+          end
+        end
+        else begin
+          let u = node_of.(if from_src then rp.r_src else rp.r_dst) in
+          let w_pat = if from_src then rp.r_dst else rp.r_src in
+          let incident = if from_src then Graph.out_rels g u else Graph.in_rels g u in
+          let candidates =
+            Array.to_list incident
+            |> List.filter (fun r ->
+                   Graph.rel_type g r = typ && not (rel_used r))
+          in
+          match candidates with
+          | [] -> ok := false
+          | _ ->
+              let r = Lpp_util.Rng.pick_list rng candidates in
+              weight := !weight *. float_of_int (List.length candidates);
+              let other = if from_src then Graph.rel_dst g r else Graph.rel_src g r in
+              if closes then begin
+                if node_of.(w_pat) = other then rel_of.(prel) <- r
+                else ok := false
+              end
+              else if node_ok g p.nodes.(w_pat) other then begin
+                rel_of.(prel) <- r;
+                node_of.(w_pat) <- other
+              end
+              else ok := false
+        end
+      end)
+    steps;
+  if !ok then !weight else 0.0
+
+let estimate ~rng t config (p : Pattern.t) =
+  if not (supports p) then 0.0
+  else begin
+    let steps = walk_order p in
+    let n = walks t config in
+    let sum = ref 0.0 in
+    for _ = 1 to n do
+      sum := !sum +. one_walk rng t p steps
+    done;
+    !sum /. float_of_int n
+  end
+
+(* The rel-id pools double as the database's type-partitioned relationship
+   store (Neo4j has the equivalent natively), so — like Park et al. — we only
+   charge WJ for the per-type directory: one pointer, one count and one
+   cursor-state entry per relationship type. *)
+let memory_bytes t =
+  Array.length t.by_type * 3 * Lpp_util.Mem_size.word

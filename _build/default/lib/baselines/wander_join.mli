@@ -1,0 +1,34 @@
+(** Wander Join (Li et al.), adapted for subgraph-matching cardinality
+    estimation as in Park et al.'s study (Section 2 / Section 6).
+
+    Each walk samples the pattern's relationships in a fixed traversal order:
+    the first relationship is drawn uniformly from the per-type relationship
+    index, every further one uniformly from the current node's qualifying
+    adjacency; the inverse sampling probability (the product of candidate-set
+    sizes) is the Horvitz–Thompson weight of the walk, zero if the walk dies
+    or violates a constraint. The estimate is the mean weight over a fixed
+    number of walks, which trades accuracy for runtime.
+
+    Limitations mirror the paper's: only directed relationships with exactly
+    one type, at most one label per node, and no property predicates. *)
+
+type t
+
+val build : Lpp_pgraph.Graph.t -> t
+(** Builds the per-type relationship index used to seed walks. *)
+
+(** Walk-count configurations of Section 6: [WJ-1], [WJ-100], and the
+    study's ratio-based configuration [WJ-R] (walks scale with graph size). *)
+type config = WJ_1 | WJ_100 | WJ_R
+
+val config_name : config -> string
+
+val walks : t -> config -> int
+
+val estimate :
+  rng:Lpp_util.Rng.t -> t -> config -> Lpp_pattern.Pattern.t -> float
+
+val supports : Lpp_pattern.Pattern.t -> bool
+
+val memory_bytes : t -> int
+(** Size of the per-type relationship index. *)

@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Algebra Array Catalog Config Direction Float Label_hierarchy Label_partition Label_probs List Lpp_pattern Lpp_pgraph Lpp_stats Planner Prop_stats Triangle_stats

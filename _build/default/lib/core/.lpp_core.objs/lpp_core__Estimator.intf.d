@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Config Lpp_pattern Lpp_stats

@@ -1,0 +1,44 @@
+(** Estimator configurations (Section 6.1's naming scheme).
+
+    A configuration name is read as: [S]imple or [A]dvanced relationship
+    statistics; [L]abel probability propagation (always on — it is the
+    technique); optional [H]ierarchy and [D]isjointness information; and the
+    property mode ([-10%] for the classical fixed-selectivity fallback). *)
+
+type property_mode =
+  | Use_stats  (** consult {!Lpp_stats.Prop_stats} *)
+  | Fixed of float  (** classical constant selectivity, e.g. 0.10 *)
+
+type t = {
+  advanced_rc : bool;
+      (** triples RC(ℓ₁,t,ℓ₂) if [true]; Neo4j-style (ℓ,t,α) pairs if [false] *)
+  use_hierarchy : bool;  (** consult H_L *)
+  use_partition : bool;  (** consult D_L *)
+  property_mode : property_mode;
+  use_triangles : bool;
+      (** consult {!Lpp_stats.Triangle_stats} when a MergeOn closes a
+          3-cycle — this library's implementation of the paper's
+          "triangle counts" future work (Section 7) *)
+}
+
+val s_l : t
+
+val a_l : t
+
+val a_lh : t
+
+val a_ld : t
+
+val a_lhd : t
+
+val a_lhd_10pct : t
+
+val a_lhdt : t
+(** A-LHD plus triangle statistics (extension, not one of the paper's six). *)
+
+val name : t -> string
+(** Canonical name: "S-L", "A-L", "A-LH", "A-LD", "A-LHD", "A-LHD-10%" or
+    "A-LHDT". *)
+
+val all : t list
+(** The six configurations of Figure 5, in the paper's order. *)

@@ -1,0 +1,40 @@
+type t = { labels : int; vars : (int, float array) Hashtbl.t }
+
+let create ~labels = { labels; vars = Hashtbl.create 8 }
+
+let label_count t = t.labels
+
+let clamp p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p
+
+let introduce t ~var ~init =
+  if Hashtbl.mem t.vars var then
+    invalid_arg "Label_probs.introduce: variable already live";
+  Hashtbl.add t.vars var (Array.init t.labels (fun l -> clamp (init l)))
+
+let drop t ~var = Hashtbl.remove t.vars var
+
+let is_live t ~var = Hashtbl.mem t.vars var
+
+let probs t var =
+  match Hashtbl.find_opt t.vars var with
+  | Some arr -> arr
+  | None -> invalid_arg "Label_probs: variable not live"
+
+let get t ~var ~label = (probs t var).(label)
+
+let set t ~var ~label p = (probs t var).(label) <- clamp p
+
+let update_all t ~var ~f =
+  let arr = probs t var in
+  Array.iteri (fun l p -> arr.(l) <- clamp (f l p)) arr
+
+let positive_labels t ~var =
+  let arr = probs t var in
+  let acc = ref [] in
+  for l = t.labels - 1 downto 0 do
+    if arr.(l) > 0.0 then acc := l :: !acc
+  done;
+  !acc
+
+let live_vars t =
+  Hashtbl.fold (fun v _ acc -> v :: acc) t.vars [] |> List.sort Int.compare

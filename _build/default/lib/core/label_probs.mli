@@ -1,0 +1,32 @@
+(** The mapping M of Algorithm 1: per node variable, the probability that a
+    node bound to that variable carries each label. *)
+
+type t
+
+val create : labels:int -> t
+(** Empty mapping for a vocabulary of [labels] labels. *)
+
+val label_count : t -> int
+
+val introduce : t -> var:int -> init:(int -> float) -> unit
+(** Bind a fresh variable with [init label] as its per-label probabilities.
+    @raise Invalid_argument if the variable is already live. *)
+
+val drop : t -> var:int -> unit
+(** Forget a variable (after [MergeOn] consumes it). *)
+
+val is_live : t -> var:int -> bool
+
+val get : t -> var:int -> label:int -> float
+
+val set : t -> var:int -> label:int -> float -> unit
+(** The value is clamped to [\[0, 1\]]. *)
+
+val update_all : t -> var:int -> f:(int -> float -> float) -> unit
+(** [update_all t ~var ~f] replaces every label probability [p] of [var] by
+    [f label p], clamped to [\[0, 1\]]. *)
+
+val positive_labels : t -> var:int -> int list
+(** Labels with probability > 0, ascending — the set L' of Section 5.3. *)
+
+val live_vars : t -> int list

@@ -1,0 +1,1 @@
+lib/datasets/cineasts_gen.ml: Array Dataset Graph_builder List Lpp_pgraph Lpp_util Printf Rng Value

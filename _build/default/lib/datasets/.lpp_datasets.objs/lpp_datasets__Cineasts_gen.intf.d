@@ -1,0 +1,1 @@
+lib/datasets/cineasts_gen.mli: Dataset

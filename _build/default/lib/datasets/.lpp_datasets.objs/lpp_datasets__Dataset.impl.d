@@ -1,0 +1,1 @@
+lib/datasets/dataset.ml: Catalog Graph Interner Label_hierarchy Label_partition List Lpp_pgraph Lpp_stats Option

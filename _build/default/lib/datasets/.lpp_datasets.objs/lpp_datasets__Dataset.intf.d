@@ -1,0 +1,1 @@
+lib/datasets/dataset.mli: Lpp_pgraph Lpp_stats

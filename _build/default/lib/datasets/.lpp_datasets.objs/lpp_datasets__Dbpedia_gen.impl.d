@@ -1,0 +1,1 @@
+lib/datasets/dbpedia_gen.ml: Array Dataset Fun Graph_builder List Lpp_pgraph Lpp_util Printf Rng Value

@@ -1,0 +1,1 @@
+lib/datasets/dbpedia_gen.mli: Dataset

@@ -1,0 +1,1 @@
+lib/datasets/snb_gen.ml: Array Dataset Graph_builder Lpp_pgraph Lpp_util Printf Rng Value

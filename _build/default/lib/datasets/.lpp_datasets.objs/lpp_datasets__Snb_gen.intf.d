@@ -1,0 +1,1 @@
+lib/datasets/snb_gen.mli: Dataset

@@ -1,0 +1,119 @@
+open Lpp_pgraph
+open Lpp_util
+
+let hierarchy_pairs =
+  [ ("Actor", "Person"); ("Director", "Person"); ("User", "Person") ]
+
+let genres =
+  [| "Drama"; "Comedy"; "Action"; "Thriller"; "Documentary"; "Romance";
+     "Horror"; "SciFi" |]
+
+let countries = [| "USA"; "UK"; "France"; "Germany"; "Japan"; "India" |]
+
+let str s = Value.Str s
+
+let int i = Value.Int i
+
+let generate ?(movies = 2200) ~seed () =
+  let rng = Rng.create seed in
+  let b = Graph_builder.create () in
+  let n_people = movies * 2 in
+  (* Professions overlap: some people act, some direct, some do both; a
+     disjoint group are platform users who only rate and befriend. *)
+  let people =
+    Array.init n_people (fun i ->
+        let acts = Rng.coin rng 0.62 in
+        let directs = Rng.coin rng (if acts then 0.06 else 0.22) in
+        let is_user = (not acts) && (not directs) || Rng.coin rng 0.08 in
+        let labels =
+          [ "Person" ]
+          @ (if acts then [ "Actor" ] else [])
+          @ (if directs then [ "Director" ] else [])
+          @ if is_user then [ "User" ] else []
+        in
+        let props =
+          [ ("name", str (Printf.sprintf "Person%d" i));
+            ("birthyear", int (1930 + Rng.int rng 75)) ]
+        in
+        let props =
+          if is_user then
+            ("login", str (Printf.sprintf "user%d" i)) :: props
+          else props
+        in
+        let props =
+          if Rng.coin rng 0.7 then
+            ("birthplace", str (Rng.pick rng countries)) :: props
+          else props
+        in
+        (Graph_builder.add_node b ~labels ~props, acts, directs, is_user))
+    |> Array.to_list
+  in
+  let actors =
+    List.filter_map (fun (nd, a, _, _) -> if a then Some nd else None) people
+    |> Array.of_list
+  in
+  let directors =
+    List.filter_map (fun (nd, _, d, _) -> if d then Some nd else None) people
+    |> Array.of_list
+  in
+  let users =
+    List.filter_map (fun (nd, _, _, u) -> if u then Some nd else None) people
+    |> Array.of_list
+  in
+  let movie_ids =
+    Array.init movies (fun i ->
+        let props =
+          [ ("title", str (Printf.sprintf "Movie%d" i));
+            ("year", int (1950 + Rng.int rng 72));
+            ("genre", str (Rng.pick rng genres));
+            ("runtime", int (60 + Rng.int rng 120)) ]
+        in
+        let props =
+          if Rng.coin rng 0.5 then
+            ("language", str (Rng.pick rng [| "en"; "fr"; "de"; "ja"; "hi" |]))
+            :: props
+          else props
+        in
+        Graph_builder.add_node b ~labels:[ "Movie" ] ~props)
+  in
+  Array.iter
+    (fun m ->
+      (* cast: Zipf over actors so a few stars appear in many movies *)
+      let cast_size = 3 + Rng.geometric rng ~p:0.35 in
+      for _ = 1 to min cast_size 12 do
+        let a = actors.(Rng.zipf rng ~n:(Array.length actors) ~s:0.7) in
+        ignore
+          (Graph_builder.add_rel b ~src:a ~dst:m ~rel_type:"ACTS_IN"
+             ~props:[ ("role", str (Printf.sprintf "Role%d" (Rng.int rng 500))) ])
+      done;
+      let d = directors.(Rng.zipf rng ~n:(Array.length directors) ~s:0.6) in
+      ignore (Graph_builder.add_rel b ~src:d ~dst:m ~rel_type:"DIRECTED" ~props:[]);
+      if Rng.coin rng 0.15 then begin
+        let d2 = directors.(Rng.zipf rng ~n:(Array.length directors) ~s:0.6) in
+        if d2 <> d then
+          ignore
+            (Graph_builder.add_rel b ~src:d2 ~dst:m ~rel_type:"DIRECTED" ~props:[])
+      end)
+    movie_ids;
+  (* ratings by users *)
+  let n_ratings = Array.length users * 8 in
+  for _ = 1 to n_ratings do
+    let u = users.(Rng.zipf rng ~n:(Array.length users) ~s:0.5) in
+    let m = movie_ids.(Rng.zipf rng ~n:movies ~s:0.8) in
+    let props = [ ("stars", int (1 + Rng.int rng 5)) ] in
+    let props =
+      if Rng.coin rng 0.3 then ("comment", str "nice one") :: props else props
+    in
+    ignore (Graph_builder.add_rel b ~src:u ~dst:m ~rel_type:"RATED" ~props)
+  done;
+  (* sparse friendship network among users: almost triangle-free *)
+  let n_users = Array.length users in
+  for i = 1 to n_users - 1 do
+    if Rng.coin rng 0.8 then begin
+      let j = Rng.int rng i in
+      ignore
+        (Graph_builder.add_rel b ~src:users.(i) ~dst:users.(j)
+           ~rel_type:"FRIEND" ~props:[])
+    end
+  done;
+  Dataset.make ~hierarchy_pairs ~name:"Cineasts" (Graph_builder.freeze b)

@@ -1,0 +1,14 @@
+(** Synthetic Cineasts-like movie database (stand-in for Cineasts 2.1.6).
+
+    Five node labels with Actor, Director and User as sublabels of Person —
+    Actor and Director overlap (some people both act and direct), exercising
+    the paper's "overlapping sublabels" case. Four relationship types
+    (ACTS_IN, DIRECTED, RATED, FRIEND) and PostgreSQL-profile-friendly
+    properties (titles, years, genres, star ratings). The graph contains very
+    few triangles, which is what bounds cyclic-pattern cardinalities — and
+    hence q-errors — in the paper's Figure 5b. *)
+
+val generate : ?movies:int -> seed:int -> unit -> Dataset.t
+(** [movies] defaults to 2200, yielding ≈9k nodes / ≈45k relationships. *)
+
+val hierarchy_pairs : (string * string) list

@@ -1,0 +1,40 @@
+open Lpp_pgraph
+open Lpp_stats
+
+type t = { name : string; graph : Graph.t; catalog : Catalog.t }
+
+let make ?hierarchy_pairs ~name graph =
+  let hierarchy =
+    Option.map
+      (fun pairs ->
+        let resolve n = Interner.find_opt (Graph.labels graph) n in
+        let id_pairs =
+          List.filter_map
+            (fun (child, parent) ->
+              match (resolve child, resolve parent) with
+              | Some c, Some p -> Some (c, p)
+              | _ -> None)
+            pairs
+        in
+        Label_hierarchy.of_pairs ~labels:(Graph.label_count graph) id_pairs)
+      hierarchy_pairs
+  in
+  { name; graph; catalog = Catalog.build_with ?hierarchy graph }
+
+let summary_headers =
+  [ "data set"; "nodes"; "rels"; "props"; "labels"; "rel types"; "prop keys";
+    "H_L height"; "D_L comps" ]
+
+let summary_row t =
+  let g = t.graph in
+  [
+    t.name;
+    string_of_int (Graph.node_count g);
+    string_of_int (Graph.rel_count g);
+    string_of_int (Graph.property_count g);
+    string_of_int (Graph.label_count g);
+    string_of_int (Graph.rel_type_count g);
+    string_of_int (Graph.prop_key_count g);
+    string_of_int (Label_hierarchy.height (Catalog.hierarchy t.catalog));
+    string_of_int (Label_partition.cluster_count (Catalog.partition t.catalog));
+  ]

@@ -1,0 +1,107 @@
+open Lpp_pgraph
+open Lpp_util
+
+let str s = Value.Str s
+
+let int i = Value.Int i
+
+let value_pool =
+  [| "alpha"; "beta"; "gamma"; "delta"; "epsilon"; "zeta"; "eta"; "theta";
+     "iota"; "kappa"; "lambda"; "mu"; "nu"; "xi"; "omicron"; "pi"; "rho";
+     "sigma"; "tau"; "upsilon" |]
+
+let generate ?(entities = 24_000) ?(classes = 140) ?(rel_kinds = 90) ~seed () =
+  let rng = Rng.create seed in
+  (* ---- ontology: a class tree of depth ≤ 4 rooted at Thing (class 0) ---- *)
+  let class_name c = if c = 0 then "Thing" else Printf.sprintf "Class%d" c in
+  let parent = Array.make classes 0 in
+  let depth = Array.make classes 0 in
+  for c = 1 to classes - 1 do
+    (* prefer shallow parents so the tree stays broad but reaches depth 4 *)
+    let rec pick () =
+      let p = Rng.int rng c in
+      if depth.(p) >= 4 then pick () else p
+    in
+    let p = pick () in
+    parent.(c) <- p;
+    depth.(c) <- depth.(p) + 1
+  done;
+  let rec ancestors c = if c = 0 then [ 0 ] else c :: ancestors parent.(c) in
+  let hierarchy_pairs =
+    List.concat_map
+      (fun c ->
+        if c = 0 then []
+        else [ (class_name c, class_name parent.(c)) ])
+      (List.init classes Fun.id)
+  in
+  (* ---- property key schema: per class a couple of keys -------------- *)
+  let n_keys = 110 in
+  let key_name k = Printf.sprintf "prop%d" k in
+  let class_keys =
+    Array.init classes (fun c ->
+        if c = 0 then [| 0 |] (* every Thing has prop0 = its name *)
+        else Array.init (1 + Rng.int rng 2) (fun _ -> 1 + Rng.int rng (n_keys - 1)))
+  in
+  (* ---- entities ------------------------------------------------------ *)
+  let b = Graph_builder.create () in
+  let entity_class = Array.make entities 0 in
+  let entity_ids =
+    Array.init entities (fun i ->
+        (* skewed class popularity; avoid the bare root for most entities *)
+        let c =
+          let c = Rng.zipf rng ~n:classes ~s:0.7 in
+          if c = 0 && Rng.coin rng 0.9 then 1 + Rng.int rng (classes - 1) else c
+        in
+        entity_class.(i) <- c;
+        let labels = List.map class_name (ancestors c) in
+        let props = ref [ (key_name 0, str (Printf.sprintf "Entity%d" i)) ] in
+        List.iter
+          (fun cls ->
+            Array.iter
+              (fun k ->
+                if k <> 0 && Rng.coin rng 0.8 then begin
+                  let v =
+                    if k mod 3 = 0 then int (Rng.zipf rng ~n:50 ~s:1.1)
+                    else str value_pool.(Rng.zipf rng ~n:(Array.length value_pool) ~s:0.9)
+                  in
+                  props := (key_name k, v) :: !props
+                end)
+              class_keys.(cls))
+          (ancestors c);
+        Graph_builder.add_node b ~labels ~props:!props)
+  in
+  (* extents: entities per class subtree, for domain/range sampling *)
+  let extents = Array.make classes [] in
+  Array.iteri
+    (fun i c ->
+      List.iter (fun a -> extents.(a) <- i :: extents.(a)) (ancestors c))
+    entity_class;
+  let extents = Array.map Array.of_list extents in
+  (* ---- relationship type schema: domain and range classes ------------ *)
+  let type_domain = Array.make rel_kinds 0 in
+  let type_range = Array.make rel_kinds 0 in
+  for t = 0 to rel_kinds - 1 do
+    let rec nonempty () =
+      let c = Rng.int rng classes in
+      if Array.length extents.(c) = 0 then nonempty () else c
+    in
+    type_domain.(t) <- nonempty ();
+    type_range.(t) <- nonempty ()
+  done;
+  let n_edges = entities * 4 in
+  for _ = 1 to n_edges do
+    let t = Rng.zipf rng ~n:rel_kinds ~s:0.8 in
+    let dom = extents.(type_domain.(t)) in
+    let rng_ext = extents.(type_range.(t)) in
+    let src = entity_ids.(dom.(Rng.zipf rng ~n:(Array.length dom) ~s:0.4)) in
+    let dst = entity_ids.(rng_ext.(Rng.zipf rng ~n:(Array.length rng_ext) ~s:0.4)) in
+    if src <> dst then
+      ignore
+        (Graph_builder.add_rel b ~src ~dst
+           ~rel_type:(Printf.sprintf "rel%d" t)
+           ~props:
+             (if Rng.coin rng 0.1 then
+                [ ("since", int (1900 + Rng.int rng 120)) ]
+              else []))
+  done;
+  Dataset.make ~hierarchy_pairs ~name:"DBpedia" (Graph_builder.freeze b)

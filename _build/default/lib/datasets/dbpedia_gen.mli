@@ -1,0 +1,15 @@
+(** Synthetic DBpedia-like knowledge graph (stand-in for DBpedia 3.6).
+
+    What matters to the estimators — and what this generator reproduces — is
+    DBpedia's statistical profile: a large ontology (≈140 classes in a tree of
+    depth 4, so H_L height 5 with the virtual root), every entity carrying the
+    common root label [Thing] plus its full ancestor chain (hence a single
+    D_L component), many relationship types each with domain/range classes,
+    Zipf-skewed class and type frequencies, and long-tailed property usage.
+    Node/edge counts are reduced from 2.4M/7M to keep exact ground truth
+    tractable (DESIGN.md §3). *)
+
+val generate :
+  ?entities:int -> ?classes:int -> ?rel_kinds:int -> seed:int -> unit -> Dataset.t
+(** Defaults: 24_000 entities, 140 classes, 90 relationship types, yielding
+    ≈24k nodes / ≈95k relationships. *)

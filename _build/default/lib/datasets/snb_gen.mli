@@ -1,0 +1,14 @@
+(** Synthetic LDBC-SNB-like social network (stand-in for SNB SF 0.1).
+
+    Reproduces the Social Network Benchmark's schema: the same 14 node labels
+    (with Post/Comment ⊑ Message, City/Country/Continent ⊑ Place,
+    University/Company ⊑ Organisation), 15 relationship types and ~20 property
+    keys, Zipf-skewed friendship and membership degrees, and correlated
+    label/property usage. Scale is reduced so exact ground-truth counting
+    remains tractable (the q-error metric is scale-free; DESIGN.md §3). *)
+
+val generate : ?persons:int -> seed:int -> unit -> Dataset.t
+(** [persons] defaults to 900, yielding ≈15k nodes / ≈90k relationships. *)
+
+val hierarchy_pairs : (string * string) list
+(** The curated (sublabel, superlabel) pairs the generator guarantees. *)

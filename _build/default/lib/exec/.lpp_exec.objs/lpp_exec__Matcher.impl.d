@@ -1,0 +1,1 @@
+lib/exec/matcher.ml: Array Graph List Lpp_pattern Lpp_pgraph Pattern Queue Semantics Value

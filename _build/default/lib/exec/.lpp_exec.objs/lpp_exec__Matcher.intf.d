@@ -1,0 +1,1 @@
+lib/exec/matcher.mli: Lpp_pattern Lpp_pgraph Semantics

@@ -1,0 +1,1 @@
+lib/exec/reference.ml: Algebra Array Direction Graph List Lpp_pattern Lpp_pgraph Option Pattern Semantics Value

@@ -1,0 +1,1 @@
+lib/exec/reference.mli: Lpp_pattern Lpp_pgraph Semantics

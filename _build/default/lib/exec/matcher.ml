@@ -1,0 +1,217 @@
+open Lpp_pgraph
+open Lpp_pattern
+
+type outcome = Count of int | Budget_exceeded
+
+type binding = { nodes : int array; rels : int array }
+
+exception Out_of_budget
+
+let prop_ok props key pred =
+  match
+    (let rec find i =
+       if i >= Array.length props then None
+       else begin
+         let k, v = props.(i) in
+         if k = key then Some v else find (i + 1)
+       end
+     in
+     find 0)
+  with
+  | None -> false
+  | Some v -> begin
+      match (pred : Pattern.prop_pred) with
+      | Exists -> true
+      | Eq want -> Value.equal v want
+    end
+
+let node_matches g (p : Pattern.t) i n =
+  let np = p.nodes.(i) in
+  Array.for_all (fun l -> Graph.node_has_label g n l) np.n_labels
+  && Array.for_all (fun (k, pred) -> prop_ok (Graph.node_props g n) k pred) np.n_props
+
+let rel_props_match g (rp : Pattern.rel_pat) r =
+  Array.for_all (fun (k, pred) -> prop_ok (Graph.rel_props g r) k pred) rp.r_props
+
+let type_ok (types : int array) t =
+  Array.length types = 0 || Array.exists (fun x -> x = t) types
+
+(* A traversal plan: the start pattern node plus, for each pattern rel in
+   processing order, which endpoint is already bound when we reach it. *)
+type step = { prel : int; from_src : bool; closes_cycle : bool }
+
+let traversal_order (p : Pattern.t) =
+  let n = Pattern.node_count p in
+  let degrees = Array.init n (Pattern.degree p) in
+  let start = ref 0 in
+  for v = 1 to n - 1 do
+    let better =
+      degrees.(v) > degrees.(!start)
+      || degrees.(v) = degrees.(!start)
+         && Array.length p.nodes.(v).n_labels
+            > Array.length p.nodes.(!start).n_labels
+    in
+    if better then start := v
+  done;
+  let bound = Array.make n false in
+  let rel_done = Array.make (Pattern.rel_count p) false in
+  bound.(!start) <- true;
+  let steps = ref [] in
+  let queue = Queue.create () in
+  Queue.add !start queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun prel ->
+        if not rel_done.(prel) then begin
+          let r = p.rels.(prel) in
+          let from_src = r.r_src = u in
+          let w = if from_src then r.r_dst else r.r_src in
+          if bound.(w) then begin
+            rel_done.(prel) <- true;
+            steps := { prel; from_src; closes_cycle = true } :: !steps
+          end
+          else begin
+            rel_done.(prel) <- true;
+            bound.(w) <- true;
+            steps := { prel; from_src; closes_cycle = false } :: !steps;
+            Queue.add w queue
+          end
+        end)
+      (Pattern.incident_rels p u)
+  done;
+  (!start, Array.of_list (List.rev !steps))
+
+(* Iterate the graph relationships incident to [u] that can match pattern rel
+   [rp] when reached from the [from_src] side; calls [f r other] for each. *)
+let iter_candidate_rels g (rp : Pattern.rel_pat) ~from_src u f =
+  let want_out = rp.r_directed && from_src in
+  let want_in = rp.r_directed && not from_src in
+  let scan_out () =
+    Array.iter
+      (fun r ->
+        if type_ok rp.r_types (Graph.rel_type g r) then f r (Graph.rel_dst g r))
+      (Graph.out_rels g u)
+  in
+  let scan_in () =
+    Array.iter
+      (fun r ->
+        if
+          type_ok rp.r_types (Graph.rel_type g r)
+          (* self-loops already produced by the out scan in undirected mode *)
+          && not ((not rp.r_directed) && Graph.rel_src g r = Graph.rel_dst g r)
+        then f r (Graph.rel_src g r))
+      (Graph.in_rels g u)
+  in
+  if want_out then scan_out ()
+  else if want_in then scan_in ()
+  else begin
+    scan_out ();
+    scan_in ()
+  end
+
+let start_candidates g (p : Pattern.t) start f =
+  let np = p.nodes.(start) in
+  if Array.length np.n_labels = 0 then Graph.iter_nodes g f
+  else begin
+    (* Scan the index of the rarest required label. *)
+    let best = ref np.n_labels.(0) in
+    Array.iter
+      (fun l ->
+        if
+          Array.length (Graph.nodes_with_label g l)
+          < Array.length (Graph.nodes_with_label g !best)
+        then best := l)
+      np.n_labels;
+    Array.iter f (Graph.nodes_with_label g !best)
+  end
+
+let run ?(semantics = Semantics.Cypher) ?(budget = 50_000_000) g (p : Pattern.t)
+    ~on_match =
+  let start, steps = traversal_order p in
+  let n = Pattern.node_count p in
+  let m = Pattern.rel_count p in
+  let node_of = Array.make n (-1) in
+  let rel_of = Array.make m (-1) in
+  (* global edge-isomorphism marks, shared by single relationships and every
+     hop of variable-length paths *)
+  let used = Array.make (max (Graph.rel_count g) 1) false in
+  let remaining = ref budget in
+  let tick () =
+    decr remaining;
+    if !remaining < 0 then raise Out_of_budget
+  in
+  let edge_iso = Semantics.equal semantics Cypher in
+  let rec go i =
+    if i >= Array.length steps then on_match node_of rel_of
+    else begin
+      let { prel; from_src; closes_cycle } = steps.(i) in
+      let rp = p.rels.(prel) in
+      let u = node_of.(if from_src then rp.r_src else rp.r_dst) in
+      let w_pat = if from_src then rp.r_dst else rp.r_src in
+      let arrive other continue =
+        if closes_cycle then begin
+          if node_of.(w_pat) = other then continue ()
+        end
+        else if node_matches g p w_pat other then begin
+          node_of.(w_pat) <- other;
+          continue ();
+          node_of.(w_pat) <- -1
+        end
+      in
+      match rp.r_hops with
+      | None ->
+          iter_candidate_rels g rp ~from_src u (fun r other ->
+              tick ();
+              if ((not edge_iso) || not used.(r)) && rel_props_match g rp r
+              then begin
+                used.(r) <- true;
+                rel_of.(prel) <- r;
+                arrive other (fun () -> go (i + 1));
+                rel_of.(prel) <- -1;
+                used.(r) <- false
+              end)
+      | Some (lo, hi) ->
+          (* enumerate paths of lo..hi qualifying hops; every hop respects
+             type/direction/property constraints and Cypher edge isomorphism
+             (within the path and against previously bound relationships) *)
+          let rec walk depth node =
+            if depth >= lo then arrive node (fun () -> go (i + 1));
+            if depth < hi then
+              iter_candidate_rels g rp ~from_src node (fun r other ->
+                  tick ();
+                  if ((not edge_iso) || not used.(r)) && rel_props_match g rp r
+                  then begin
+                    used.(r) <- true;
+                    walk (depth + 1) other;
+                    used.(r) <- false
+                  end)
+          in
+          walk 0 u
+    end
+  in
+  start_candidates g p start (fun nd ->
+      tick ();
+      if node_matches g p start nd then begin
+        node_of.(start) <- nd;
+        go 0;
+        node_of.(start) <- -1
+      end)
+
+let count ?semantics ?budget g p =
+  let total = ref 0 in
+  match run ?semantics ?budget g p ~on_match:(fun _ _ -> incr total) with
+  | () -> Count !total
+  | exception Out_of_budget -> Budget_exceeded
+
+let enumerate ?semantics ?budget ?(limit = 1000) g p =
+  let acc = ref [] in
+  let seen = ref 0 in
+  let exception Done in
+  (try
+     run ?semantics ?budget g p ~on_match:(fun nodes rels ->
+         acc := { nodes = Array.copy nodes; rels = Array.copy rels } :: !acc;
+         incr seen;
+         if !seen >= limit then raise Done)
+   with Done | Out_of_budget -> ());
+  List.rev !acc

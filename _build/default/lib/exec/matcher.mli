@@ -1,0 +1,38 @@
+(** Exact subgraph matching by backtracking — the ground-truth oracle.
+
+    Counts (or enumerates) the mappings of Definition 3.4 for a pattern against
+    a property graph, under either matching semantics. Ground-truth counting of
+    arbitrary patterns is #P-hard, so every entry point takes a [budget]: an
+    upper bound on backtracking steps after which the computation aborts. The
+    experiment harness discards queries whose ground truth exceeds the budget,
+    mirroring the paper's timeout handling for slow competitors. *)
+
+type outcome = Count of int | Budget_exceeded
+
+val count :
+  ?semantics:Semantics.t ->
+  ?budget:int ->
+  Lpp_pgraph.Graph.t ->
+  Lpp_pattern.Pattern.t ->
+  outcome
+(** [count g p] is the number of result mappings of [p] over [g].
+    [semantics] defaults to [Cypher]; [budget] defaults to 50 million steps. *)
+
+type binding = { nodes : int array; rels : int array }
+(** [nodes.(i)] is the graph node bound to pattern node [i]; [rels.(j)] the
+    graph relationship bound to pattern relationship [j]. *)
+
+val enumerate :
+  ?semantics:Semantics.t ->
+  ?budget:int ->
+  ?limit:int ->
+  Lpp_pgraph.Graph.t ->
+  Lpp_pattern.Pattern.t ->
+  binding list
+(** First [limit] (default 1000) result mappings, in backtracking order.
+    Stops silently if the budget runs out. *)
+
+val node_matches :
+  Lpp_pgraph.Graph.t -> Lpp_pattern.Pattern.t -> int -> Lpp_pgraph.Graph.node -> bool
+(** [node_matches g p i n]: does graph node [n] satisfy the label and property
+    requirements of pattern node [i]? Exposed for the workload generator. *)

@@ -1,0 +1,8 @@
+type t = Cypher | Homomorphism
+
+let equal a b =
+  match (a, b) with
+  | Cypher, Cypher | Homomorphism, Homomorphism -> true
+  | (Cypher | Homomorphism), _ -> false
+
+let to_string = function Cypher -> "cypher" | Homomorphism -> "homomorphism"

@@ -1,0 +1,13 @@
+(** Matching semantics (Definition 3.4 and Section 6.2).
+
+    [Cypher] is the paper's default ("Cyphermorphism"): node variables match
+    homomorphically (two pattern nodes may map to the same graph node) while
+    relationship variables match isomorphically (no two pattern relationships
+    map to the same graph relationship). [Homomorphism] lifts the relationship
+    constraint, which is what SPARQL engines (CSets, SumRDF) assume. *)
+
+type t = Cypher | Homomorphism
+
+val equal : t -> t -> bool
+
+val to_string : t -> string

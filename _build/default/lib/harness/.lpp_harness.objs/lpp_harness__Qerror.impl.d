@@ -1,0 +1,1 @@
+lib/harness/qerror.ml: Float

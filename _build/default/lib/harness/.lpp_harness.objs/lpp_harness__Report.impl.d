@@ -1,0 +1,1 @@
+lib/harness/report.ml: Float Lpp_util Printf

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Float List Lpp_workload Qerror Technique Unix

@@ -1,0 +1,1 @@
+lib/harness/technique.ml: Csets List Lpp_baselines Lpp_core Lpp_datasets Lpp_pattern Lpp_util Neo4j_est Sumrdf Wander_join

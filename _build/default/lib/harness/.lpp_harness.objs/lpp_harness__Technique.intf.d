@@ -1,0 +1,1 @@
+lib/harness/technique.mli: Lpp_baselines Lpp_core Lpp_datasets Lpp_pattern Lpp_stats

@@ -1,0 +1,7 @@
+let q_error ~truth ~estimate =
+  let t = Float.max truth 1.0 in
+  let e = Float.max estimate 1.0 in
+  Float.max (t /. e) (e /. t)
+
+let underestimates ~truth ~estimate =
+  Float.max estimate 1.0 < Float.max truth 1.0

@@ -1,0 +1,11 @@
+(** The q-error accuracy metric (Moerkotte et al.), as used throughout
+    Section 6: the factor by which an estimate deviates from the truth,
+    symmetric in over- and underestimation. *)
+
+val q_error : truth:float -> estimate:float -> float
+(** [max (truth/estimate) (estimate/truth)] with both inputs clamped to ≥ 1,
+    so a zero estimate of a single-match query yields the truth itself rather
+    than infinity (the standard convention). Always ≥ 1. *)
+
+val underestimates : truth:float -> estimate:float -> bool
+(** After the same clamping. *)

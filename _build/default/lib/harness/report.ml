@@ -1,0 +1,25 @@
+let float_cell v =
+  if Float.is_integer v && Float.abs v < 1e6 then
+    Printf.sprintf "%.0f" v
+  else if Float.abs v >= 100.0 then Printf.sprintf "%.3g" v
+  else Printf.sprintf "%.2f" v
+
+let qerr_cell sample =
+  match Lpp_util.Quantiles.summarize sample with
+  | None -> "-"
+  | Some s ->
+      Printf.sprintf "%s [%s, %s]" (float_cell s.median) (float_cell s.q25)
+        (float_cell s.q75)
+
+let ns_to_string ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let time_cell sample =
+  match Lpp_util.Quantiles.summarize sample with
+  | None -> "-"
+  | Some s ->
+      Printf.sprintf "%s [%s, %s]" (ns_to_string s.median)
+        (ns_to_string s.q25) (ns_to_string s.q75)

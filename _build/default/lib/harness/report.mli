@@ -1,0 +1,13 @@
+(** Formatting helpers shared by the benchmark executable's reports. *)
+
+val qerr_cell : float list -> string
+(** Quartile rendering of a q-error sample, e.g. ["3.2 [1.4, 18]"] for median
+    [q25, q75]; ["-"] for an empty sample. *)
+
+val time_cell : float list -> string
+(** Median [q25, q75] of latencies in a human unit (ns/µs/ms). *)
+
+val float_cell : float -> string
+(** Compact significant-digit rendering. *)
+
+val ns_to_string : float -> string

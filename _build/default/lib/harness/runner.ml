@@ -1,0 +1,64 @@
+type measurement = {
+  query : Lpp_workload.Query_gen.query;
+  estimate : float;
+  q_error : float;
+  runtime_ns : float;
+}
+
+let time_once f x =
+  let t0 = Unix.gettimeofday () in
+  let y = f x in
+  let t1 = Unix.gettimeofday () in
+  (y, (t1 -. t0) *. 1e9)
+
+(* Repeat until ≥ ~1ms total so fast estimators get stable per-call numbers. *)
+let timed_estimate f x =
+  let y, ns = time_once f x in
+  if ns >= 1_000_000.0 then (y, ns)
+  else begin
+    let reps = max 1 (int_of_float (1_000_000.0 /. Float.max ns 100.0)) in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f x)
+    done;
+    let t1 = Unix.gettimeofday () in
+    (y, (t1 -. t0) *. 1e9 /. float_of_int reps)
+  end
+
+let run ?(measure_time = true) (t : Technique.t) queries =
+  List.filter_map
+    (fun (q : Lpp_workload.Query_gen.query) ->
+      if not (t.supports q.pattern) then None
+      else begin
+        let estimate, runtime_ns =
+          if measure_time then timed_estimate t.estimate q.pattern
+          else (t.estimate q.pattern, 0.0)
+        in
+        Some
+          {
+            query = q;
+            estimate;
+            q_error =
+              Qerror.q_error ~truth:(float_of_int q.true_card) ~estimate;
+            runtime_ns;
+          }
+      end)
+    queries
+
+let support_fraction (t : Technique.t) queries =
+  match queries with
+  | [] -> 0.0
+  | _ ->
+      let supported =
+        List.length
+          (List.filter
+             (fun (q : Lpp_workload.Query_gen.query) -> t.supports q.pattern)
+             queries)
+      in
+      float_of_int supported /. float_of_int (List.length queries)
+
+let q_errors ms = List.map (fun m -> m.q_error) ms
+
+let runtimes_ns ms = List.map (fun m -> m.runtime_ns) ms
+
+let filter pred ms = List.filter (fun m -> pred m.query) ms

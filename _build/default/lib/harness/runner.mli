@@ -1,0 +1,28 @@
+(** Experiment runner: apply a technique to a query set, recording q-error and
+    estimation latency per query. *)
+
+type measurement = {
+  query : Lpp_workload.Query_gen.query;
+  estimate : float;
+  q_error : float;
+  runtime_ns : float;  (** wall-clock per single estimation call *)
+}
+
+val run :
+  ?measure_time:bool ->
+  Technique.t ->
+  Lpp_workload.Query_gen.query list ->
+  measurement list
+(** Unsupported queries are skipped. With [measure_time] (default true) each
+    estimate is repeated until at least ~1 ms of wall clock has been observed
+    so that sub-microsecond estimators still get a meaningful latency. *)
+
+val support_fraction :
+  Technique.t -> Lpp_workload.Query_gen.query list -> float
+
+val q_errors : measurement list -> float list
+
+val runtimes_ns : measurement list -> float list
+
+val filter :
+  (Lpp_workload.Query_gen.query -> bool) -> measurement list -> measurement list

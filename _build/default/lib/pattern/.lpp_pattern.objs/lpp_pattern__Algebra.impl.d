@@ -1,0 +1,1 @@
+lib/pattern/algebra.ml: Array Format Lpp_pgraph Pattern Printf Result String

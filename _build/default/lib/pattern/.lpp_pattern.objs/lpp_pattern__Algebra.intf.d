@@ -1,0 +1,1 @@
+lib/pattern/algebra.mli: Format Lpp_pgraph Pattern

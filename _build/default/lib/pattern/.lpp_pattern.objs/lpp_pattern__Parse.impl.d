@@ -1,0 +1,1 @@
+lib/pattern/parse.ml: Array Format Hashtbl List Lpp_pgraph Pattern String

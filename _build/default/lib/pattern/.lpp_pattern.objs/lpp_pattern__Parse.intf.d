@@ -1,0 +1,1 @@
+lib/pattern/parse.mli: Lpp_pgraph Pattern

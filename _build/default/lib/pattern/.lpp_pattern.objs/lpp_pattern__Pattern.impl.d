@@ -1,0 +1,1 @@
+lib/pattern/pattern.ml: Array Format Fun Graph Int Interner List Lpp_pgraph String Value

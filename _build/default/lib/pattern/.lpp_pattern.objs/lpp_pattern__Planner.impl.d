@@ -1,0 +1,1 @@
+lib/pattern/planner.ml: Algebra Array Direction List Lpp_pgraph Lpp_util Pattern Queue

@@ -1,0 +1,1 @@
+lib/pattern/planner.mli: Algebra Lpp_util Pattern

@@ -1,0 +1,1 @@
+lib/pattern/shape.ml: Array Format Fun Int Pattern

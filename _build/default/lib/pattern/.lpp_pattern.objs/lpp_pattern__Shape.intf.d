@@ -1,0 +1,1 @@
+lib/pattern/shape.mli: Format Pattern

@@ -1,0 +1,133 @@
+type var_kind = Node_var | Rel_var
+
+type op =
+  | Get_nodes of { var : int }
+  | Label_selection of { var : int; label : int }
+  | Prop_selection of {
+      kind : var_kind;
+      var : int;
+      props : (int * Pattern.prop_pred) array;
+    }
+  | Expand of {
+      src_var : int;
+      rel_var : int;
+      dst_var : int;
+      types : int array;
+      dir : Lpp_pgraph.Direction.t;
+      hops : (int * int) option;
+    }
+  | Merge_on of { keep : int; merge : int; cycle_len : int option }
+
+type t = { ops : op array; node_vars : int; rel_vars : int }
+
+let op_count t = Array.length t.ops
+
+let validate t =
+  let bound_nodes = Array.make (max t.node_vars 1) false in
+  let bound_rels = Array.make (max t.rel_vars 1) false in
+  let error fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_node_in_range v =
+    if v < 0 || v >= t.node_vars then error "node var %d out of range" v
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let check_live v =
+    let* () = check_node_in_range v in
+    if not bound_nodes.(v) then error "node var %d used before introduction" v
+    else Ok ()
+  in
+  let introduce v =
+    let* () = check_node_in_range v in
+    if bound_nodes.(v) then error "node var %d introduced twice" v
+    else begin
+      bound_nodes.(v) <- true;
+      Ok ()
+    end
+  in
+  let step op =
+    match op with
+    | Get_nodes { var } -> introduce var
+    | Label_selection { var; label } ->
+        let* () = check_live var in
+        if label < 0 then error "negative label id" else Ok ()
+    | Prop_selection { kind; var; props } -> begin
+        if Array.length props = 0 then error "empty property selection"
+        else
+          match kind with
+          | Node_var -> check_live var
+          | Rel_var ->
+              if var < 0 || var >= t.rel_vars then
+                error "rel var %d out of range" var
+              else if not bound_rels.(var) then
+                error "rel var %d used before introduction" var
+              else Ok ()
+      end
+    | Expand { src_var; rel_var; dst_var; types = _; dir = _; hops } ->
+        let* () =
+          match hops with
+          | Some (lo, hi) when lo < 1 || hi < lo -> error "invalid hop range"
+          | Some _ | None -> Ok ()
+        in
+        let* () = check_live src_var in
+        let* () = introduce dst_var in
+        if rel_var < 0 || rel_var >= t.rel_vars then
+          error "rel var %d out of range" rel_var
+        else if bound_rels.(rel_var) then error "rel var %d introduced twice" rel_var
+        else begin
+          bound_rels.(rel_var) <- true;
+          Ok ()
+        end
+    | Merge_on { keep; merge; cycle_len = _ } ->
+        let* () = check_live keep in
+        let* () = check_live merge in
+        if keep = merge then error "Merge_on of a variable with itself"
+        else begin
+          bound_nodes.(merge) <- false;
+          Ok ()
+        end
+  in
+  Array.fold_left
+    (fun acc op -> Result.bind acc (fun () -> step op))
+    (Ok ()) t.ops
+
+let pp_props ppf props =
+  Array.iteri
+    (fun i (k, p) ->
+      if i > 0 then Format.fprintf ppf ", ";
+      match (p : Pattern.prop_pred) with
+      | Exists -> Format.fprintf ppf "k%d" k
+      | Eq v -> Format.fprintf ppf "k%d=%a" k Lpp_pgraph.Value.pp v)
+    props
+
+let pp_op ppf = function
+  | Get_nodes { var } -> Format.fprintf ppf "GetNodes(v%d)" var
+  | Label_selection { var; label } ->
+      Format.fprintf ppf "LabelSel(v%d : L%d)" var label
+  | Prop_selection { kind; var; props } ->
+      let prefix = match kind with Node_var -> "v" | Rel_var -> "r" in
+      Format.fprintf ppf "PropSel(%s%d {%a})" prefix var pp_props props
+  | Expand { src_var; rel_var; dst_var; types; dir; hops } ->
+      let hops_str =
+        match hops with
+        | None -> ""
+        | Some (lo, hi) ->
+            if lo = hi then Printf.sprintf "*%d" lo
+            else Printf.sprintf "*%d..%d" lo hi
+      in
+      Format.fprintf ppf "Expand(v%d %a[r%d:%s%s] v%d)" src_var
+        Lpp_pgraph.Direction.pp dir rel_var
+        (String.concat "|"
+           (Array.to_list (Array.map (fun t -> "T" ^ string_of_int t) types)))
+        hops_str dst_var
+  | Merge_on { keep; merge; cycle_len } ->
+      Format.fprintf ppf "MergeOn(v%d = v%d%s)" keep merge
+        (match cycle_len with
+        | None -> ""
+        | Some k -> Printf.sprintf ", %d-cycle" k)
+
+let pp ppf t =
+  Array.iteri
+    (fun i op ->
+      if i > 0 then Format.fprintf ppf " ; ";
+      pp_op ppf op)
+    t.ops

@@ -1,0 +1,55 @@
+(** Operator sequences of the property-graph algebra (Section 3.2).
+
+    A sequence linearises a {!Pattern.t} into the five operators whose
+    cardinality behaviour the paper models: [GetNodes], [LabelSelection],
+    [PropertySelection], [Expand] and [MergeOn]. Estimators process the
+    sequence front to back (Algorithm 1); a reference evaluator in
+    [Lpp_exec.Reference] executes the same sequence exactly. *)
+
+type var_kind = Node_var | Rel_var
+
+type op =
+  | Get_nodes of { var : int }
+      (** bind a fresh node variable to every node of the graph *)
+  | Label_selection of { var : int; label : int }
+      (** keep mappings where [var]'s node carries [label] *)
+  | Prop_selection of {
+      kind : var_kind;
+      var : int;
+      props : (int * Pattern.prop_pred) array;
+    }
+      (** keep mappings where the entity satisfies all property predicates *)
+  | Expand of {
+      src_var : int;
+      rel_var : int;
+      dst_var : int;
+      types : int array;  (** allowed relationship types; empty = any *)
+      dir : Lpp_pgraph.Direction.t;
+      hops : (int * int) option;
+          (** variable-length range; [None] = exactly one relationship *)
+    }
+      (** one output mapping per input mapping and qualifying relationship
+          (or, with [hops], qualifying path) incident to [src_var]'s node;
+          binds [rel_var] and [dst_var] *)
+  | Merge_on of { keep : int; merge : int; cycle_len : int option }
+      (** keep mappings where the two node variables are bound to the same
+          node, dropping [merge]. [cycle_len] is planner-provided metadata:
+          the length of the pattern cycle this merge closes (3 for a
+          triangle), consumed by the triangle-aware estimator extension. *)
+
+type t = {
+  ops : op array;
+  node_vars : int;  (** node variable ids are [0 .. node_vars-1] *)
+  rel_vars : int;  (** relationship variable ids are [0 .. rel_vars-1] *)
+}
+
+val validate : t -> (unit, string) result
+(** Well-formedness: each variable is introduced exactly once before use, the
+    first operator introducing a node variable is [Get_nodes] or [Expand],
+    [Merge_on] drops a live variable, and variable ids stay within bounds. *)
+
+val op_count : t -> int
+
+val pp_op : Format.formatter -> op -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,188 @@
+open Lpp_pgraph
+
+let expand_dir (r : Pattern.rel_pat) ~from_src =
+  if not r.r_directed then Direction.Both
+  else if from_src then Direction.Out
+  else Direction.In
+
+(* Selection operators for a freshly introduced node variable. *)
+let node_selections (p : Pattern.t) pnode var =
+  let n = p.nodes.(pnode) in
+  let labels =
+    Array.to_list n.n_labels
+    |> List.map (fun l -> Algebra.Label_selection { var; label = l })
+  in
+  let props =
+    if Array.length n.n_props = 0 then []
+    else [ Algebra.Prop_selection { kind = Node_var; var; props = n.n_props } ]
+  in
+  labels @ props
+
+let rel_selections (p : Pattern.t) prel rel_var =
+  let r = p.rels.(prel) in
+  if Array.length r.r_props = 0 then []
+  else [ Algebra.Prop_selection { kind = Rel_var; var = rel_var; props = r.r_props } ]
+
+(* shortest path (in relationships) between two pattern nodes, ignoring one
+   relationship — the cycle a deferred rel closes has this length + 1 *)
+let cycle_length (p : Pattern.t) ~without u w =
+  let n = Pattern.node_count p in
+  let dist = Array.make n (-1) in
+  dist.(u) <- 0;
+  let queue = Queue.create () in
+  Queue.add u queue;
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    Array.iteri
+      (fun i (r : Pattern.rel_pat) ->
+        if i <> without && (r.r_src = x || r.r_dst = x) then begin
+          let y = if r.r_src = x then r.r_dst else r.r_src in
+          if dist.(y) < 0 then begin
+            dist.(y) <- dist.(x) + 1;
+            Queue.add y queue
+          end
+        end)
+      p.rels
+  done;
+  if dist.(w) < 0 then None else Some (dist.(w) + 1)
+
+let expand_op (p : Pattern.t) prel ~src_var ~dst_var ~from_src =
+  let r = p.rels.(prel) in
+  Algebra.Expand
+    {
+      src_var;
+      rel_var = prel;
+      dst_var;
+      types = r.r_types;
+      dir = expand_dir r ~from_src;
+      hops = r.r_hops;
+    }
+
+let plan (p : Pattern.t) =
+  let n = Pattern.node_count p in
+  let degrees = Array.init n (Pattern.degree p) in
+  let start = ref 0 in
+  for v = 1 to n - 1 do
+    let better =
+      degrees.(v) > degrees.(!start)
+      || degrees.(v) = degrees.(!start)
+         && Array.length p.nodes.(v).n_labels
+            > Array.length p.nodes.(!start).n_labels
+    in
+    if better then start := v
+  done;
+  let start = !start in
+  let bound = Array.make n false in
+  let rel_done = Array.make (Pattern.rel_count p) false in
+  let ops = ref [ Algebra.Get_nodes { var = start } ] in
+  let emit op = ops := op :: !ops in
+  List.iter emit (node_selections p start start);
+  bound.(start) <- true;
+  let queue = Queue.create () in
+  Queue.add start queue;
+  let deferred = ref [] in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun prel ->
+        if not rel_done.(prel) then begin
+          let r = p.rels.(prel) in
+          let from_src = r.r_src = u in
+          let w = if from_src then r.r_dst else r.r_src in
+          if bound.(w) then
+            (* both endpoints bound: closes a cycle, defer to the end *)
+            deferred := (prel, u, w, from_src) :: !deferred
+          else begin
+            rel_done.(prel) <- true;
+            emit (expand_op p prel ~src_var:u ~dst_var:w ~from_src);
+            List.iter emit (rel_selections p prel prel);
+            List.iter emit (node_selections p w w);
+            bound.(w) <- true;
+            Queue.add w queue
+          end
+        end)
+      (Pattern.incident_rels p u)
+  done;
+  let fresh = ref n in
+  List.iter
+    (fun (prel, u, w, from_src) ->
+      if not rel_done.(prel) then begin
+        rel_done.(prel) <- true;
+        let tmp = !fresh in
+        incr fresh;
+        emit (expand_op p prel ~src_var:u ~dst_var:tmp ~from_src);
+        List.iter emit (rel_selections p prel prel);
+        emit
+          (Algebra.Merge_on
+             { keep = w; merge = tmp;
+               cycle_len = cycle_length p ~without:prel u w })
+      end)
+    (List.rev !deferred);
+  {
+    Algebra.ops = Array.of_list (List.rev !ops);
+    node_vars = !fresh;
+    rel_vars = Pattern.rel_count p;
+  }
+
+let random_order rng (p : Pattern.t) =
+  let n = Pattern.node_count p in
+  let m = Pattern.rel_count p in
+  let bound = Array.make n false in
+  let rel_done = Array.make m false in
+  let start = Lpp_util.Rng.int rng n in
+  (* Pool of selection operators not yet emitted, flushed at random moments. *)
+  let pending = ref [] in
+  let ops = ref [ Algebra.Get_nodes { var = start } ] in
+  let emit op = ops := op :: !ops in
+  let add_pending l = pending := !pending @ l in
+  let flush_some () =
+    let keep, emit_now =
+      List.partition (fun _ -> Lpp_util.Rng.bool rng) !pending
+    in
+    pending := keep;
+    List.iter emit emit_now
+  in
+  bound.(start) <- true;
+  add_pending (node_selections p start start);
+  let fresh = ref n in
+  let remaining = ref m in
+  while !remaining > 0 do
+    flush_some ();
+    (* frontier: undone rels with at least one bound endpoint *)
+    let frontier = ref [] in
+    for prel = 0 to m - 1 do
+      if not rel_done.(prel) then begin
+        let r = p.rels.(prel) in
+        if bound.(r.r_src) then frontier := (prel, true) :: !frontier;
+        if bound.(r.r_dst) then frontier := (prel, false) :: !frontier
+      end
+    done;
+    let prel, from_src = Lpp_util.Rng.pick_list rng !frontier in
+    let r = p.rels.(prel) in
+    let u = if from_src then r.r_src else r.r_dst in
+    let w = if from_src then r.r_dst else r.r_src in
+    rel_done.(prel) <- true;
+    decr remaining;
+    if bound.(w) then begin
+      let tmp = !fresh in
+      incr fresh;
+      emit (expand_op p prel ~src_var:u ~dst_var:tmp ~from_src);
+      add_pending (rel_selections p prel prel);
+      emit
+        (Algebra.Merge_on
+           { keep = w; merge = tmp;
+             cycle_len = cycle_length p ~without:prel u w })
+    end
+    else begin
+      emit (expand_op p prel ~src_var:u ~dst_var:w ~from_src);
+      bound.(w) <- true;
+      add_pending (rel_selections p prel prel);
+      add_pending (node_selections p w w)
+    end
+  done;
+  List.iter emit !pending;
+  {
+    Algebra.ops = Array.of_list (List.rev !ops);
+    node_vars = !fresh;
+    rel_vars = m;
+  }

@@ -1,0 +1,20 @@
+(** Linearisation of a pattern into an operator sequence (Section 4.3).
+
+    The heuristic order starts from the pattern node with the highest degree,
+    expands the pattern breadth-first, introduces label and property selections
+    as early as possible, and defers cycle-closing relationships (emitted as an
+    [Expand] to a fresh variable followed by [Merge_on]) to the end.
+
+    [random_order] produces a uniformly random valid linearisation; the paper's
+    preliminary ordering experiment compares the heuristic against 100 such
+    orders per query. *)
+
+val plan : Pattern.t -> Algebra.t
+(** Heuristic order. Node variable [i < node_count] is bound to pattern node
+    [i]; fresh variables (for cycle closers) get ids from [node_count] up.
+    Relationship variable [j] is bound to pattern relationship [j]. *)
+
+val random_order : Lpp_util.Rng.t -> Pattern.t -> Algebra.t
+(** A valid but randomly chosen linearisation: random start node, random
+    traversal order (cycle closers not deferred), selections inserted at random
+    valid positions. *)

@@ -1,0 +1,70 @@
+type cyclic_kind = Circle | Petal | Flower | Other_cyclic
+
+type t = Chain | Star | Tree | Cyclic of cyclic_kind
+
+let rank = function
+  | Chain -> 0
+  | Star -> 1
+  | Tree -> 2
+  | Cyclic Circle -> 3
+  | Cyclic Petal -> 4
+  | Cyclic Flower -> 5
+  | Cyclic Other_cyclic -> 6
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Chain -> "chain"
+  | Star -> "star"
+  | Tree -> "tree"
+  | Cyclic Circle -> "circle"
+  | Cyclic Petal -> "petal"
+  | Cyclic Flower -> "flower"
+  | Cyclic Other_cyclic -> "cyclic-other"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let all =
+  [ Chain; Star; Tree; Cyclic Circle; Cyclic Petal; Cyclic Flower;
+    Cyclic Other_cyclic ]
+
+let coarse = function
+  | Chain -> "chain"
+  | Star -> "star"
+  | Tree -> "tree"
+  | Cyclic _ -> "cyclic"
+
+let classify (p : Pattern.t) =
+  let n = Pattern.node_count p in
+  let m = Pattern.rel_count p in
+  (* Patterns are connected by construction, so the cyclomatic number of the
+     undirected skeleton is simply m - n + 1. *)
+  let cycles = m - n + 1 in
+  let degrees = Array.init n (Pattern.degree p) in
+  let max_degree = Array.fold_left max 0 degrees in
+  if cycles <= 0 then begin
+    if max_degree <= 2 then Chain
+    else if
+      (* a star: some centre is an endpoint of every relationship *)
+      Array.exists
+        (fun c ->
+          Array.for_all
+            (fun (r : Pattern.rel_pat) -> r.r_src = c || r.r_dst = c)
+            p.rels
+          && degrees.(c) = m)
+        (Array.init n Fun.id)
+    then Star
+    else Tree
+  end
+  else begin
+    let branch_nodes =
+      Array.fold_left (fun acc d -> if d >= 3 then acc + 1 else acc) 0 degrees
+    in
+    match branch_nodes with
+    | 0 -> Cyclic Circle
+    | 1 -> Cyclic Flower
+    | 2 -> Cyclic Petal
+    | _ -> Cyclic Other_cyclic
+  end

@@ -1,0 +1,34 @@
+(** Pattern shape taxonomy (Bonifati et al., adopted by the paper's Section 6).
+
+    Acyclic patterns are chains, stars or general trees; cyclic patterns are
+    subdivided into circles (a single cycle), petals (two branch nodes joined
+    by parallel paths), flowers (a single branch node carrying cycles and
+    appendages) and other cyclic shapes. *)
+
+type cyclic_kind = Circle | Petal | Flower | Other_cyclic
+
+type t = Chain | Star | Tree | Cyclic of cyclic_kind
+
+val classify : Pattern.t -> t
+(** Classification over the undirected multigraph skeleton of the pattern:
+    - no cycle, max degree ≤ 2 → [Chain] (includes single nodes and edges);
+    - no cycle, all edges incident to one centre → [Star];
+    - no cycle otherwise → [Tree];
+    - cyclic with zero / one / two nodes of degree ≥ 3 → [Circle] / [Flower] /
+      [Petal]; more → [Other_cyclic]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** Every shape in report order: chain, star, tree, circle, petal, flower,
+    other-cyclic. *)
+
+val coarse : t -> string
+(** The four coarse classes used by Figure 5: "chain", "star", "tree",
+    "cyclic". *)

@@ -1,0 +1,1 @@
+lib/pgraph/graph.ml: Array Direction Interner Value

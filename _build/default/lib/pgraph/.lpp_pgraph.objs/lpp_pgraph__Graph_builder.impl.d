@@ -1,0 +1,1 @@
+lib/pgraph/graph_builder.ml: Array Graph Hashtbl Int Interner List Value

@@ -1,0 +1,1 @@
+lib/pgraph/graph_builder.mli: Graph Value

@@ -1,0 +1,1 @@
+lib/pgraph/graph_io.ml: Array Buffer Fun Graph Hashtbl Int Interner List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/pgraph/graph_io.mli: Graph

@@ -1,0 +1,1 @@
+lib/pgraph/interner.ml: Array Hashtbl Lpp_util

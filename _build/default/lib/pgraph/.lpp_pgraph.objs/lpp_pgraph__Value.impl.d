@@ -1,0 +1,1 @@
+lib/pgraph/value.ml: Bool Float Format Hashtbl Int String

@@ -1,0 +1,1 @@
+lib/pgraph/value.mli: Format

@@ -1,0 +1,18 @@
+type t = Out | In | Both
+
+let equal a b =
+  match (a, b) with
+  | Out, Out | In, In | Both, Both -> true
+  | (Out | In | Both), _ -> false
+
+let rank = function Out -> 0 | In -> 1 | Both -> 2
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let reverse = function Out -> In | In -> Out | Both -> Both
+
+let to_string = function Out -> "->" | In -> "<-" | Both -> "--"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let all = [ Out; In; Both ]

@@ -1,0 +1,17 @@
+(** Traversal direction of a relationship, α ∈ {→, ←, ↔} in the paper. *)
+
+type t = Out | In | Both
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val reverse : t -> t
+(** [Out ↔ In]; [Both] is its own reverse. Used when propagating statistics
+    from the target variable's point of view. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val all : t list

@@ -1,0 +1,169 @@
+type node = int
+
+type rel = int
+
+type t = {
+  labels : Interner.t;
+  rel_types : Interner.t;
+  prop_keys : Interner.t;
+  node_labels : int array array;
+  node_props : (int * Value.t) array array;
+  rel_src : int array;
+  rel_dst : int array;
+  rel_type : int array;
+  rel_props : (int * Value.t) array array;
+  out_adj : int array array;
+  in_adj : int array array;
+  label_index : int array array; (* label id -> sorted node ids *)
+  unlabeled : int;
+  prop_total : int;
+}
+
+let node_count t = Array.length t.node_labels
+
+let rel_count t = Array.length t.rel_src
+
+let property_count t = t.prop_total
+
+let labels t = t.labels
+
+let rel_types t = t.rel_types
+
+let prop_keys t = t.prop_keys
+
+let label_count t = Interner.size t.labels
+
+let rel_type_count t = Interner.size t.rel_types
+
+let prop_key_count t = Interner.size t.prop_keys
+
+let node_labels t n = t.node_labels.(n)
+
+let node_has_label t n l =
+  (* Label arrays are tiny (rarely > 5); linear scan beats binary search. *)
+  let arr = t.node_labels.(n) in
+  let rec go i = i < Array.length arr && (arr.(i) = l || go (i + 1)) in
+  go 0
+
+let node_props t n = t.node_props.(n)
+
+let assoc_prop props key =
+  let rec go i =
+    if i >= Array.length props then None
+    else begin
+      let k, v = props.(i) in
+      if k = key then Some v else if k > key then None else go (i + 1)
+    end
+  in
+  go 0
+
+let node_prop t n key = assoc_prop t.node_props.(n) key
+
+let nodes_with_label t l =
+  (* labels interned into the vocabulary after freezing (e.g. by a query)
+     have an empty extent *)
+  if l < 0 || l >= Array.length t.label_index then [||] else t.label_index.(l)
+
+let unlabeled_node_count t = t.unlabeled
+
+let rel_src t r = t.rel_src.(r)
+
+let rel_dst t r = t.rel_dst.(r)
+
+let rel_type t r = t.rel_type.(r)
+
+let rel_props t r = t.rel_props.(r)
+
+let rel_prop t r key = assoc_prop t.rel_props.(r) key
+
+let out_rels t n = t.out_adj.(n)
+
+let in_rels t n = t.in_adj.(n)
+
+let degree t dir n =
+  match (dir : Direction.t) with
+  | Out -> Array.length t.out_adj.(n)
+  | In -> Array.length t.in_adj.(n)
+  | Both -> Array.length t.out_adj.(n) + Array.length t.in_adj.(n)
+
+let other_end t r n =
+  if t.rel_src.(r) = n then t.rel_dst.(r)
+  else if t.rel_dst.(r) = n then t.rel_src.(r)
+  else invalid_arg "Graph.other_end: node is not an endpoint"
+
+let iter_nodes t f =
+  for n = 0 to node_count t - 1 do
+    f n
+  done
+
+let iter_rels t f =
+  for r = 0 to rel_count t - 1 do
+    f r
+  done
+
+let fold_nodes t ~init ~f =
+  let acc = ref init in
+  iter_nodes t (fun n -> acc := f !acc n);
+  !acc
+
+let fold_rels t ~init ~f =
+  let acc = ref init in
+  iter_rels t (fun r -> acc := f !acc r);
+  !acc
+
+let build_adjacency ~n_nodes ~endpoints =
+  let counts = Array.make n_nodes 0 in
+  Array.iter (fun e -> counts.(e) <- counts.(e) + 1) endpoints;
+  let adj = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make n_nodes 0 in
+  Array.iteri
+    (fun r e ->
+      adj.(e).(fill.(e)) <- r;
+      fill.(e) <- fill.(e) + 1)
+    endpoints;
+  adj
+
+let unsafe_make ~labels ~rel_types ~prop_keys ~node_labels ~node_props ~rel_src
+    ~rel_dst ~rel_type ~rel_props =
+  let n_nodes = Array.length node_labels in
+  let out_adj = build_adjacency ~n_nodes ~endpoints:rel_src in
+  let in_adj = build_adjacency ~n_nodes ~endpoints:rel_dst in
+  let label_counts = Array.make (Interner.size labels) 0 in
+  Array.iter
+    (fun ls -> Array.iter (fun l -> label_counts.(l) <- label_counts.(l) + 1) ls)
+    node_labels;
+  let label_index = Array.map (fun c -> Array.make c 0) label_counts in
+  let fill = Array.make (Interner.size labels) 0 in
+  Array.iteri
+    (fun n ls ->
+      Array.iter
+        (fun l ->
+          label_index.(l).(fill.(l)) <- n;
+          fill.(l) <- fill.(l) + 1)
+        ls)
+    node_labels;
+  let unlabeled =
+    Array.fold_left
+      (fun acc ls -> if Array.length ls = 0 then acc + 1 else acc)
+      0 node_labels
+  in
+  let prop_total =
+    Array.fold_left (fun acc ps -> acc + Array.length ps) 0 node_props
+    + Array.fold_left (fun acc ps -> acc + Array.length ps) 0 rel_props
+  in
+  {
+    labels;
+    rel_types;
+    prop_keys;
+    node_labels;
+    node_props;
+    rel_src;
+    rel_dst;
+    rel_type;
+    rel_props;
+    out_adj;
+    in_adj;
+    label_index;
+    unlabeled;
+    prop_total;
+  }

@@ -1,0 +1,110 @@
+(** Frozen property graph (Definition 3.1).
+
+    A graph is built once through {!Graph_builder} and then immutable. Nodes
+    and relationships are dense integer ids; labels, relationship types and
+    property keys are interned integers resolvable through the embedded
+    {!Interner}s. Adjacency is stored CSR-style per node and per direction,
+    and a per-label node index supports label scans. *)
+
+type t
+
+type node = int
+(** Node id in [0 .. node_count-1]. *)
+
+type rel = int
+(** Relationship id in [0 .. rel_count-1]. *)
+
+(** {1 Sizes} *)
+
+val node_count : t -> int
+
+val rel_count : t -> int
+
+val property_count : t -> int
+(** Total number of (entity, key, value) property triples in the graph. *)
+
+(** {1 Vocabulary} *)
+
+val labels : t -> Interner.t
+
+val rel_types : t -> Interner.t
+
+val prop_keys : t -> Interner.t
+
+val label_count : t -> int
+
+val rel_type_count : t -> int
+
+val prop_key_count : t -> int
+
+(** {1 Nodes} *)
+
+val node_labels : t -> node -> int array
+(** Sorted, duplicate-free label ids of a node (possibly empty). *)
+
+val node_has_label : t -> node -> int -> bool
+
+val node_props : t -> node -> (int * Value.t) array
+(** Sorted by key id. *)
+
+val node_prop : t -> node -> int -> Value.t option
+
+val nodes_with_label : t -> int -> node array
+(** All nodes carrying the given label, ascending; the physical index — do not
+    mutate. Labels interned into the vocabulary after the graph was frozen
+    (e.g. by a query mentioning an unused label) have an empty extent. *)
+
+val unlabeled_node_count : t -> int
+
+(** {1 Relationships} *)
+
+val rel_src : t -> rel -> node
+
+val rel_dst : t -> rel -> node
+
+val rel_type : t -> rel -> int
+
+val rel_props : t -> rel -> (int * Value.t) array
+
+val rel_prop : t -> rel -> int -> Value.t option
+
+val out_rels : t -> node -> rel array
+(** Relationship ids whose source is the node; the physical index — do not
+    mutate. *)
+
+val in_rels : t -> node -> rel array
+
+val degree : t -> Direction.t -> node -> int
+(** Number of incident relationships in the given direction; [Both] counts
+    every incident relationship once (self-loops twice, matching how Expand
+    enumerates them). *)
+
+val other_end : t -> rel -> node -> node
+(** The endpoint of [rel] that is not [node]; for self-loops returns [node].
+    @raise Invalid_argument if [node] is not an endpoint of [rel]. *)
+
+(** {1 Iteration} *)
+
+val iter_nodes : t -> (node -> unit) -> unit
+
+val iter_rels : t -> (rel -> unit) -> unit
+
+val fold_nodes : t -> init:'a -> f:('a -> node -> 'a) -> 'a
+
+val fold_rels : t -> init:'a -> f:('a -> rel -> 'a) -> 'a
+
+(** {1 Construction (used by {!Graph_builder})} *)
+
+val unsafe_make :
+  labels:Interner.t ->
+  rel_types:Interner.t ->
+  prop_keys:Interner.t ->
+  node_labels:int array array ->
+  node_props:(int * Value.t) array array ->
+  rel_src:int array ->
+  rel_dst:int array ->
+  rel_type:int array ->
+  rel_props:(int * Value.t) array array ->
+  t
+(** Invariants (sortedness of label/prop arrays, id ranges) are the caller's
+    responsibility; {!Graph_builder.freeze} establishes them. *)

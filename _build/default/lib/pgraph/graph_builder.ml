@@ -1,0 +1,94 @@
+type pending_node = { labels : int array; props : (int * Value.t) array }
+
+type pending_rel = {
+  src : int;
+  dst : int;
+  typ : int;
+  rprops : (int * Value.t) array;
+}
+
+type t = {
+  label_names : Interner.t;
+  type_names : Interner.t;
+  key_names : Interner.t;
+  mutable nodes : pending_node list; (* reversed *)
+  mutable n_nodes : int;
+  mutable rels : pending_rel list; (* reversed *)
+  mutable n_rels : int;
+  mutable frozen : bool;
+}
+
+let create () =
+  {
+    label_names = Interner.create ();
+    type_names = Interner.create ();
+    key_names = Interner.create ();
+    nodes = [];
+    n_nodes = 0;
+    rels = [];
+    n_rels = 0;
+    frozen = false;
+  }
+
+let check_live t =
+  if t.frozen then invalid_arg "Graph_builder: already frozen"
+
+let dedup_sorted_ints arr =
+  Array.sort Int.compare arr;
+  let n = Array.length arr in
+  if n <= 1 then arr
+  else begin
+    let out = ref [ arr.(0) ] in
+    for i = 1 to n - 1 do
+      if arr.(i) <> arr.(i - 1) then out := arr.(i) :: !out
+    done;
+    Array.of_list (List.rev !out)
+  end
+
+let intern_props keys props =
+  let tbl = Hashtbl.create (List.length props) in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl (Interner.intern keys k) v) props;
+  let arr = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> Array.of_list in
+  Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
+  arr
+
+let add_node t ~labels ~props =
+  check_live t;
+  let label_ids =
+    dedup_sorted_ints
+      (Array.of_list (List.map (Interner.intern t.label_names) labels))
+  in
+  let prop_arr = intern_props t.key_names props in
+  t.nodes <- { labels = label_ids; props = prop_arr } :: t.nodes;
+  let id = t.n_nodes in
+  t.n_nodes <- id + 1;
+  id
+
+let add_rel t ~src ~dst ~rel_type ~props =
+  check_live t;
+  if src < 0 || src >= t.n_nodes || dst < 0 || dst >= t.n_nodes then
+    invalid_arg "Graph_builder.add_rel: unknown endpoint";
+  let typ = Interner.intern t.type_names rel_type in
+  let rprops = intern_props t.key_names props in
+  t.rels <- { src; dst; typ; rprops } :: t.rels;
+  let id = t.n_rels in
+  t.n_rels <- id + 1;
+  id
+
+let node_count t = t.n_nodes
+
+let rel_count t = t.n_rels
+
+let freeze t =
+  check_live t;
+  t.frozen <- true;
+  let nodes = Array.of_list (List.rev t.nodes) in
+  let rels = Array.of_list (List.rev t.rels) in
+  Graph.unsafe_make ~labels:t.label_names ~rel_types:t.type_names
+    ~prop_keys:t.key_names
+    ~node_labels:(Array.map (fun n -> n.labels) nodes)
+    ~node_props:(Array.map (fun n -> n.props) nodes)
+    ~rel_src:(Array.map (fun r -> r.src) rels)
+    ~rel_dst:(Array.map (fun r -> r.dst) rels)
+    ~rel_type:(Array.map (fun r -> r.typ) rels)
+    ~rel_props:(Array.map (fun r -> r.rprops) rels)

@@ -1,0 +1,36 @@
+(** Mutable construction of a property graph, frozen into a {!Graph.t}.
+
+    {[
+      let b = Graph_builder.create () in
+      let alice = Graph_builder.add_node b ~labels:[ "Person"; "Student" ]
+          ~props:[ ("name", Value.Str "Alice") ] in
+      let bob = Graph_builder.add_node b ~labels:[ "Person" ] ~props:[] in
+      let _r = Graph_builder.add_rel b ~src:alice ~dst:bob ~rel_type:"knows"
+          ~props:[] in
+      let g = Graph_builder.freeze b
+    ]} *)
+
+type t
+
+val create : unit -> t
+
+val add_node :
+  t -> labels:string list -> props:(string * Value.t) list -> Graph.node
+(** Duplicate labels and duplicate property keys are deduplicated (last write
+    wins for properties). *)
+
+val add_rel :
+  t ->
+  src:Graph.node ->
+  dst:Graph.node ->
+  rel_type:string ->
+  props:(string * Value.t) list ->
+  Graph.rel
+(** @raise Invalid_argument if either endpoint has not been added yet. *)
+
+val node_count : t -> int
+
+val rel_count : t -> int
+
+val freeze : t -> Graph.t
+(** The builder must not be used after [freeze]. *)

@@ -1,0 +1,191 @@
+let magic = "lpp-graph v1"
+
+(* ---------------- escaping ---------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then begin
+      if s.[i] = '\\' && i + 1 < n then begin
+        (match s.[i + 1] with
+        | '\\' -> Buffer.add_char buf '\\'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'n' -> Buffer.add_char buf '\n'
+        | c -> Buffer.add_char buf c);
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let value_to_string = function
+  | Value.Bool b -> "b:" ^ string_of_bool b
+  | Value.Int i -> "i:" ^ string_of_int i
+  | Value.Float f -> Printf.sprintf "f:%h" f
+  | Value.Str s -> "s:" ^ escape s
+
+let value_of_string s =
+  if String.length s < 2 || s.[1] <> ':' then None
+  else begin
+    let payload = String.sub s 2 (String.length s - 2) in
+    match s.[0] with
+    | 'b' -> Option.map (fun b -> Value.Bool b) (bool_of_string_opt payload)
+    | 'i' -> Option.map (fun i -> Value.Int i) (int_of_string_opt payload)
+    | 'f' -> Option.map (fun f -> Value.Float f) (float_of_string_opt payload)
+    | 's' -> Some (Value.Str (unescape payload))
+    | _ -> None
+  end
+
+(* ---------------- writing ---------------- *)
+
+let write g oc =
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "%s\n" magic;
+  Interner.iter (Graph.labels g) (fun id name -> pr "label\t%d\t%s\n" id (escape name));
+  Interner.iter (Graph.rel_types g) (fun id name -> pr "type\t%d\t%s\n" id (escape name));
+  Interner.iter (Graph.prop_keys g) (fun id name -> pr "key\t%d\t%s\n" id (escape name));
+  Graph.iter_nodes g (fun nd ->
+      pr "node\t%d" nd;
+      Array.iter (fun l -> pr "\t%d" l) (Graph.node_labels g nd);
+      pr "\n";
+      Array.iter
+        (fun (k, v) -> pr "nprop\t%d\t%d\t%s\n" nd k (value_to_string v))
+        (Graph.node_props g nd));
+  Graph.iter_rels g (fun r ->
+      pr "rel\t%d\t%d\t%d\t%d\n" r (Graph.rel_src g r) (Graph.rel_dst g r)
+        (Graph.rel_type g r);
+      Array.iter
+        (fun (k, v) -> pr "rprop\t%d\t%d\t%s\n" r k (value_to_string v))
+        (Graph.rel_props g r))
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write g oc)
+
+(* ---------------- reading ---------------- *)
+
+exception Bad of string
+
+let read ic =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  try
+    (match input_line ic with
+    | line when line = magic -> ()
+    | line -> fail "bad magic %S" line
+    | exception End_of_file -> fail "empty input");
+    let labels = Interner.create () in
+    let rel_types = Interner.create () in
+    let prop_keys = Interner.create () in
+    let nodes = ref [] (* reversed: (labels, props rev ref) *) in
+    let n_nodes = ref 0 in
+    let rels = ref [] in
+    let n_rels = ref 0 in
+    let node_props : (int, (int * Value.t) list ref) Hashtbl.t = Hashtbl.create 64 in
+    let rel_props : (int, (int * Value.t) list ref) Hashtbl.t = Hashtbl.create 64 in
+    let intern_decl interner id name =
+      let got = Interner.intern interner (unescape name) in
+      if got <> id then fail "non-dense vocabulary id %d" id
+    in
+    let int_of s =
+      match int_of_string_opt s with
+      | Some i -> i
+      | None -> fail "expected an integer, got %S" s
+    in
+    let value_of s =
+      match value_of_string s with
+      | Some v -> v
+      | None -> fail "bad value literal %S" s
+    in
+    let push_prop tbl owner k v =
+      let cell =
+        match Hashtbl.find_opt tbl owner with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.add tbl owner c;
+            c
+      in
+      cell := (k, v) :: !cell
+    in
+    (try
+       while true do
+         let line = input_line ic in
+         if line <> "" then begin
+           match String.split_on_char '\t' line with
+           | "label" :: id :: [ name ] -> intern_decl labels (int_of id) name
+           | "type" :: id :: [ name ] -> intern_decl rel_types (int_of id) name
+           | "key" :: id :: [ name ] -> intern_decl prop_keys (int_of id) name
+           | "node" :: id :: label_ids ->
+               if int_of id <> !n_nodes then fail "non-dense node id %s" id;
+               incr n_nodes;
+               nodes := Array.of_list (List.map int_of label_ids) :: !nodes
+           | [ "nprop"; nd; k; v ] ->
+               push_prop node_props (int_of nd) (int_of k) (value_of v)
+           | [ "rel"; id; src; dst; typ ] ->
+               if int_of id <> !n_rels then fail "non-dense rel id %s" id;
+               incr n_rels;
+               rels := (int_of src, int_of dst, int_of typ) :: !rels
+           | [ "rprop"; r; k; v ] ->
+               push_prop rel_props (int_of r) (int_of k) (value_of v)
+           | _ -> fail "unrecognised line %S" line
+         end
+       done
+     with End_of_file -> ());
+    let node_labels = Array.of_list (List.rev !nodes) in
+    Array.iteri
+      (fun nd ls ->
+        ignore nd;
+        Array.iter
+          (fun l -> if l < 0 || l >= Interner.size labels then fail "label id out of range")
+          ls)
+      node_labels;
+    let rel_arr = Array.of_list (List.rev !rels) in
+    Array.iter
+      (fun (s, d, t) ->
+        if s < 0 || s >= !n_nodes || d < 0 || d >= !n_nodes then
+          fail "relationship endpoint out of range";
+        if t < 0 || t >= Interner.size rel_types then fail "type id out of range")
+      rel_arr;
+    let props_of tbl owner =
+      match Hashtbl.find_opt tbl owner with
+      | None -> [||]
+      | Some c ->
+          let arr = Array.of_list (List.rev !c) in
+          Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
+          Array.iter
+            (fun (k, _) ->
+              if k < 0 || k >= Interner.size prop_keys then fail "key id out of range")
+            arr;
+          arr
+    in
+    Ok
+      (Graph.unsafe_make ~labels ~rel_types ~prop_keys ~node_labels
+         ~node_props:(Array.init !n_nodes (props_of node_props))
+         ~rel_src:(Array.map (fun (s, _, _) -> s) rel_arr)
+         ~rel_dst:(Array.map (fun (_, d, _) -> d) rel_arr)
+         ~rel_type:(Array.map (fun (_, _, t) -> t) rel_arr)
+         ~rel_props:(Array.init !n_rels (props_of rel_props)))
+  with Bad msg -> Error msg
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic -> Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)

@@ -1,0 +1,29 @@
+(** Plain-text serialisation of property graphs.
+
+    A line-oriented, tab-separated format ("lpp-graph v1"):
+
+    {v
+    lpp-graph v1
+    label <id> <name>
+    type <id> <name>
+    key <id> <name>
+    node <id> <label-id>*            (ids ascending, one line per node)
+    nprop <node-id> <key-id> <value>
+    rel <id> <src> <dst> <type-id>
+    rprop <rel-id> <key-id> <value>
+    v}
+
+    Values are tagged: [b:true], [i:42], [f:3.14], [s:text] with backslash
+    escapes for tab, newline and backslash in names and strings. The format
+    is stable under round-trips: ids are dense and written in order, so
+    [load (save g)] reproduces [g] exactly. *)
+
+val write : Graph.t -> out_channel -> unit
+
+val save : Graph.t -> string -> unit
+(** @raise Sys_error on I/O failure. *)
+
+val read : in_channel -> (Graph.t, string) result
+
+val load : string -> (Graph.t, string) result
+(** I/O errors are reported as [Error]. *)

@@ -1,0 +1,28 @@
+(** Bidirectional string ↔ dense-integer interning.
+
+    Labels, relationship types and property keys are interned once at graph
+    construction time; all downstream code (statistics, estimators, matcher)
+    works on dense integer ids, which keeps per-operator estimation cost low. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** Return the id for [s], allocating a fresh one on first sight. *)
+
+val find_opt : t -> string -> int option
+(** Lookup without allocation. *)
+
+val name : t -> int -> string
+(** @raise Invalid_argument on an unknown id. *)
+
+val size : t -> int
+(** Number of distinct interned strings; ids are [0 .. size-1]. *)
+
+val iter : t -> (int -> string -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> int -> string -> 'a) -> 'a
+
+val memory_bytes : t -> int
+(** Approximate footprint of the interner's payload (see {!Lpp_util.Mem_size}). *)

@@ -1,0 +1,42 @@
+type t = Bool of bool | Int of int | Float of float | Str of string
+
+let equal a b =
+  match (a, b) with
+  | Bool x, Bool y -> Bool.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | (Bool _ | Int _ | Float _ | Str _), _ -> false
+
+let rank = function Bool _ -> 0 | Int _ -> 1 | Float _ -> 2 | Str _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let hash = function
+  | Bool b -> if b then 1 else 0
+  | Int i -> Hashtbl.hash i
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+let to_string = function
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> string_of_float f
+  | Str s -> s
+
+let pp ppf v =
+  match v with
+  | Str s -> Format.fprintf ppf "%S" s
+  | other -> Format.pp_print_string ppf (to_string other)
+
+let type_name = function
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "string"

@@ -1,0 +1,24 @@
+(** Property values attached to nodes and relationships.
+
+    The property-graph model (Definition 3.1) treats properties as key/value
+    pairs; values are scalars. A total order is provided so values can be used
+    as keys in frequency statistics. *)
+
+type t = Bool of bool | Int of int | Float of float | Str of string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order: Bool < Int < Float < Str, then the natural order within each
+    constructor. Ints and floats are intentionally not unified: property
+    statistics treat [Int 1] and [Float 1.0] as distinct values, as Neo4j does
+    for index keys. *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val type_name : t -> string
+(** ["bool"], ["int"], ["float"] or ["string"]. *)

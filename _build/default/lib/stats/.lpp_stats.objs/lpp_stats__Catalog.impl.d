@@ -1,0 +1,1 @@
+lib/stats/catalog.ml: Array Direction Graph Hashtbl Label_hierarchy Label_partition Lazy Lpp_pgraph Lpp_util Option Prop_stats Triangle_stats

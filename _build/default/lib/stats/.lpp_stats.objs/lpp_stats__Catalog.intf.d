@@ -1,0 +1,1 @@
+lib/stats/catalog.mli: Label_hierarchy Label_partition Lpp_pgraph Prop_stats Triangle_stats

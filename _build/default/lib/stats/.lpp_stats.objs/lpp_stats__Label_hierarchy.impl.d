@@ -1,0 +1,1 @@
+lib/stats/label_hierarchy.ml: Array Graph Int List Lpp_pgraph Lpp_util Set

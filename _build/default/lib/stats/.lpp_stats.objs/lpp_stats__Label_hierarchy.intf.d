@@ -1,0 +1,1 @@
+lib/stats/label_hierarchy.mli: Lpp_pgraph

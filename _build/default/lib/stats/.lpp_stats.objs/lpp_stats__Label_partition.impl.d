@@ -1,0 +1,1 @@
+lib/stats/label_partition.ml: Array Fun Graph Hashtbl List Lpp_pgraph Lpp_util

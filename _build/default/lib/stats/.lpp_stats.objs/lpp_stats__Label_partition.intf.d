@@ -1,0 +1,1 @@
+lib/stats/label_partition.mli: Lpp_pgraph

@@ -1,0 +1,1 @@
+lib/stats/prop_stats.ml: Array Graph Hashtbl Int Lpp_pattern Lpp_pgraph Lpp_util Option Value

@@ -1,0 +1,1 @@
+lib/stats/prop_stats.mli: Lpp_pattern Lpp_pgraph

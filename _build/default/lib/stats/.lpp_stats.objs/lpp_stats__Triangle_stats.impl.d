@@ -1,0 +1,1 @@
+lib/stats/triangle_stats.ml: Array Float Graph Hashtbl Lpp_pgraph Lpp_util Seq

@@ -1,0 +1,1 @@
+lib/stats/triangle_stats.mli: Lpp_pgraph

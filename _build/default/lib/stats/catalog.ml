@@ -1,0 +1,171 @@
+open Lpp_pgraph
+
+(* Triple keys are (src, typ, dst) with -1 encoding the wildcard [*]; all
+   counts are stored from the relationship's natural orientation (src → dst).
+   Queries in direction [In] swap the roles; [Both] sums both. *)
+type t = {
+  mutable total_nodes : int;
+  mutable total_rels : int;
+  mutable nc : int array;
+  mutable rel_type_totals : int array;
+  triples : (int * int * int, int) Hashtbl.t;
+  any_type : (int * int, int) Hashtbl.t;
+  hierarchy : Label_hierarchy.t;
+  partition : Label_partition.t;
+  props : Prop_stats.t;
+  triangles : Triangle_stats.t Lazy.t;
+}
+
+let star = -1
+
+let wild = function None -> star | Some l -> l
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let get tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key)
+
+let build_with ?hierarchy ?partition g =
+  let hierarchy =
+    match hierarchy with Some h -> h | None -> Label_hierarchy.infer g
+  in
+  let partition =
+    match partition with Some p -> p | None -> Label_partition.infer g
+  in
+  let nc =
+    Array.init (Graph.label_count g) (fun l ->
+        Array.length (Graph.nodes_with_label g l))
+  in
+  let rel_type_totals = Array.make (Graph.rel_type_count g) 0 in
+  let triples = Hashtbl.create 1024 in
+  let any_type = Hashtbl.create 256 in
+  Graph.iter_rels g (fun r ->
+      let typ = Graph.rel_type g r in
+      rel_type_totals.(typ) <- rel_type_totals.(typ) + 1;
+      let src_labels = Array.append [| star |] (Graph.node_labels g (Graph.rel_src g r)) in
+      let dst_labels = Array.append [| star |] (Graph.node_labels g (Graph.rel_dst g r)) in
+      Array.iter
+        (fun l1 ->
+          Array.iter
+            (fun l2 ->
+              bump triples (l1, typ, l2);
+              bump any_type (l1, l2))
+            dst_labels)
+        src_labels);
+  {
+    total_nodes = Graph.node_count g;
+    total_rels = Graph.rel_count g;
+    nc;
+    rel_type_totals;
+    triples;
+    any_type;
+    hierarchy;
+    partition;
+    props = Prop_stats.build g;
+    triangles = lazy (Triangle_stats.build g);
+  }
+
+let build g = build_with g
+
+let nc_star t = t.total_nodes
+
+let nc t l = if l >= 0 && l < Array.length t.nc then t.nc.(l) else 0
+
+let label_count t = Array.length t.nc
+
+let rel_total t = t.total_rels
+
+let rel_type_total t typ =
+  if typ >= 0 && typ < Array.length t.rel_type_totals then t.rel_type_totals.(typ)
+  else 0
+
+let rc_directed t ~src ~types ~dst =
+  if Array.length types = 0 then get t.any_type (src, dst)
+  else Array.fold_left (fun acc ty -> acc + get t.triples (src, ty, dst)) 0 types
+
+let rc t ~dir ~node ~types ~other =
+  let node = wild node and other = wild other in
+  match (dir : Direction.t) with
+  | Out -> rc_directed t ~src:node ~types ~dst:other
+  | In -> rc_directed t ~src:other ~types ~dst:node
+  | Both ->
+      rc_directed t ~src:node ~types ~dst:other
+      + rc_directed t ~src:other ~types ~dst:node
+
+let simple_rc t ~dir ~node ~types = rc t ~dir ~node ~types ~other:None
+
+let hierarchy t = t.hierarchy
+
+let partition t = t.partition
+
+let props t = t.props
+
+let triangles t = Lazy.force t.triangles
+
+let nc_bytes t = Array.length t.nc * Lpp_util.Mem_size.int_entry
+
+let memory_bytes_simple t =
+  (* Neo4j keeps NC(ℓ) plus (ℓ, t, direction) pair counts: our triple entries
+     whose far side is the wildcard, once per direction. *)
+  let pair_entries =
+    Hashtbl.fold
+      (fun (l1, _, l2) _ acc ->
+        let out_pair = if l2 = star then 1 else 0 in
+        let in_pair = if l1 = star then 1 else 0 in
+        acc + out_pair + in_pair)
+      t.triples 0
+  in
+  nc_bytes t
+  + pair_entries
+    * Lpp_util.Mem_size.table_entry
+        ~key_bytes:(2 * Lpp_util.Mem_size.int_entry)
+        ~value_bytes:Lpp_util.Mem_size.int_entry
+
+let memory_bytes_advanced t =
+  nc_bytes t
+  + Hashtbl.length t.triples
+    * Lpp_util.Mem_size.table_entry
+        ~key_bytes:(3 * Lpp_util.Mem_size.int_entry)
+        ~value_bytes:Lpp_util.Mem_size.int_entry
+
+(* ---- incremental maintenance (Section 4.1's cheap-to-keep claim) ---- *)
+
+let ensure_capacity arr size =
+  if size <= Array.length arr then arr
+  else begin
+    let fresh = Array.make size 0 in
+    Array.blit arr 0 fresh 0 (Array.length arr);
+    fresh
+  end
+
+let note_node_added t ~labels =
+  t.total_nodes <- t.total_nodes + 1;
+  Array.iter
+    (fun l ->
+      t.nc <- ensure_capacity t.nc (l + 1);
+      t.nc.(l) <- t.nc.(l) + 1)
+    labels
+
+let note_rel_added t ~src_labels ~typ ~dst_labels =
+  t.total_rels <- t.total_rels + 1;
+  t.rel_type_totals <- ensure_capacity t.rel_type_totals (typ + 1);
+  t.rel_type_totals.(typ) <- t.rel_type_totals.(typ) + 1;
+  let src = Array.append [| star |] src_labels in
+  let dst = Array.append [| star |] dst_labels in
+  Array.iter
+    (fun l1 ->
+      Array.iter
+        (fun l2 ->
+          bump t.triples (l1, typ, l2);
+          bump t.any_type (l1, l2))
+        dst)
+    src
+
+let memory_bytes_optional t =
+  Label_hierarchy.memory_bytes t.hierarchy
+  + Label_partition.memory_bytes t.partition
+
+let memory_bytes_props t = Prop_stats.memory_bytes t.props
+
+let memory_bytes_alhd t =
+  memory_bytes_advanced t + memory_bytes_optional t + memory_bytes_props t

@@ -1,0 +1,110 @@
+(** The statistics catalog: everything Section 4 requires or optionally uses.
+
+    Built once per data graph; estimator configurations then decide which parts
+    to consult. Label arguments use [None] for the wildcard [*] ("any node,
+    labeled or not"); type lists use [[]] for "any type".
+
+    Required statistics (Section 4.1):
+    - [nc]: per-label node counts NC(ℓ) and the total NC(✱);
+    - advanced relationship triples RC_α(ℓ₁, t, ℓ₂) including wildcard
+      projections — the simple Neo4j-style (ℓ, t, α) pair counts used by the
+      [S-*] configurations and the Neo4j baseline are the [other = None]
+      projections of the same table.
+
+    Optional statistics (Section 4.2): {!Label_hierarchy}, {!Label_partition},
+    {!Prop_stats}. *)
+
+type t
+
+val build : Lpp_pgraph.Graph.t -> t
+(** Collect all statistics in a single pass over the graph; hierarchy and
+    partition are inferred from the data (Section 4.2.1 notes schema inference
+    as the standard way to obtain them). *)
+
+val build_with :
+  ?hierarchy:Label_hierarchy.t ->
+  ?partition:Label_partition.t ->
+  Lpp_pgraph.Graph.t ->
+  t
+(** Like {!build} but with externally supplied schema information (e.g. the
+    curated hierarchies the paper constructs manually for SNB and Cineasts). *)
+
+(** {1 Node statistics} *)
+
+val nc_star : t -> int
+(** NC(✱): all nodes. *)
+
+val nc : t -> int -> int
+(** NC(ℓ); 0 for ids unseen at build time. *)
+
+val label_count : t -> int
+
+val rel_total : t -> int
+
+val rel_type_total : t -> int -> int
+(** Number of relationships of a given type. *)
+
+(** {1 Relationship statistics} *)
+
+val rc :
+  t ->
+  dir:Lpp_pgraph.Direction.t ->
+  node:int option ->
+  types:int array ->
+  other:int option ->
+  int
+(** [rc t ~dir ~node ~types ~other] counts relationships incident to a node
+    carrying [node] (or any node for [None]) in direction [dir], with type in
+    [types] ([[||]] = any), whose far endpoint carries [other] (any for
+    [None]). [dir = Both] counts each incident relationship once from the
+    node's perspective (out + in). *)
+
+val simple_rc :
+  t -> dir:Lpp_pgraph.Direction.t -> node:int option -> types:int array -> int
+(** Neo4j's pair counts: [rc] with [other = None]. *)
+
+(** {1 Optional statistics} *)
+
+val hierarchy : t -> Label_hierarchy.t
+
+val partition : t -> Label_partition.t
+
+val props : t -> Prop_stats.t
+
+val triangles : t -> Triangle_stats.t
+(** Wedge-closure statistics for the triangle-aware extension; computed
+    lazily on first use. *)
+
+(** {1 Incremental maintenance}
+
+    The required statistics (NC, RC, type totals) are cheap to keep current
+    under data updates — Section 4.1's design goal. The optional schema-level
+    statistics (H_L, D_L, property statistics, triangle census) are not
+    maintained here: the paper argues schema evolution is far rarer than data
+    churn, so they are refreshed by rebuilding the catalog. Deletions mirror
+    additions and are left to the caller as negative workloads are not used
+    in the evaluation. *)
+
+val note_node_added : t -> labels:int array -> unit
+(** O(|labels|); unseen label ids grow the counter table. *)
+
+val note_rel_added :
+  t -> src_labels:int array -> typ:int -> dst_labels:int array -> unit
+(** O(|src_labels| · |dst_labels|). *)
+
+(** {1 Memory accounting (Table 3)} *)
+
+val memory_bytes_simple : t -> int
+(** Neo4j's summary: NC(ℓ) counters + (ℓ, t, α) pair counts. *)
+
+val memory_bytes_advanced : t -> int
+(** Our required summary: NC(ℓ) + RC(ℓ₁, t, ℓ₂) triples (both wildcard
+    projections included). *)
+
+val memory_bytes_optional : t -> int
+(** H_L + D_L. *)
+
+val memory_bytes_props : t -> int
+
+val memory_bytes_alhd : t -> int
+(** Advanced + optional + properties: the A-LHD configuration's footprint. *)

@@ -1,0 +1,136 @@
+open Lpp_pgraph
+
+(* supers.(l) = sorted array of strict transitive superlabels of l *)
+type t = { supers : int array array }
+
+let label_count t = Array.length t.supers
+
+let trivial n = { supers = Array.make n [||] }
+
+let mem arr x =
+  let rec go lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if arr.(mid) = x then true
+      else if arr.(mid) < x then go (mid + 1) hi
+      else go lo mid
+    end
+  in
+  go 0 (Array.length arr)
+
+let is_strict_sublabel t a b = a <> b && mem t.supers.(a) b
+
+let subeq t a b = a = b || is_strict_sublabel t a b
+
+let superlabels t l = Array.to_list t.supers.(l)
+
+let sublabels t l =
+  let acc = ref [] in
+  for x = Array.length t.supers - 1 downto 0 do
+    if x <> l && mem t.supers.(x) l then acc := x :: !acc
+  done;
+  !acc
+
+let related t a b = is_strict_sublabel t a b || is_strict_sublabel t b a
+
+let drop_redundant t labels =
+  List.filter
+    (fun l -> not (List.exists (fun l' -> is_strict_sublabel t l' l) labels))
+    labels
+
+let maximal_among t labels =
+  List.filter
+    (fun l -> not (List.exists (fun l' -> is_strict_sublabel t l l') labels))
+    labels
+
+let of_direct ~labels direct_supers =
+  (* transitive closure by repeated squaring over small label sets *)
+  let closure = Array.init labels (fun l -> direct_supers l) in
+  let module IS = Set.Make (Int) in
+  let sets = Array.map IS.of_list closure in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for l = 0 to labels - 1 do
+      let next =
+        IS.fold (fun s acc -> IS.union acc sets.(s)) sets.(l) sets.(l)
+      in
+      if IS.cardinal next > IS.cardinal sets.(l) then begin
+        sets.(l) <- next;
+        changed := true
+      end
+    done
+  done;
+  Array.iteri
+    (fun l s ->
+      if IS.mem l s then invalid_arg "Label_hierarchy: cyclic declaration")
+    sets;
+  { supers = Array.map (fun s -> Array.of_list (IS.elements s)) sets }
+
+let of_pairs ~labels pairs =
+  List.iter
+    (fun (c, p) ->
+      if c < 0 || c >= labels || p < 0 || p >= labels then
+        invalid_arg "Label_hierarchy.of_pairs: label id out of range")
+    pairs;
+  of_direct ~labels (fun l ->
+      List.filter_map (fun (c, p) -> if c = l then Some p else None) pairs)
+
+let sorted_subset small big =
+  (* both ascending; is [small] ⊆ [big]? *)
+  let n_small = Array.length small and n_big = Array.length big in
+  let rec go i j =
+    if i >= n_small then true
+    else if j >= n_big then false
+    else if small.(i) = big.(j) then go (i + 1) (j + 1)
+    else if small.(i) > big.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+let infer g =
+  let labels = Graph.label_count g in
+  let extents = Array.init labels (Graph.nodes_with_label g) in
+  let supers = Array.make labels [] in
+  for a = 0 to labels - 1 do
+    for b = 0 to labels - 1 do
+      if a <> b && Array.length extents.(a) > 0 then begin
+        let subset = sorted_subset extents.(a) extents.(b) in
+        if subset then begin
+          let equal_extents =
+            Array.length extents.(a) = Array.length extents.(b)
+          in
+          (* alias extents: orient by id to keep the relation antisymmetric *)
+          if (not equal_extents) || a < b then supers.(a) <- b :: supers.(a)
+        end
+      end
+    done
+  done;
+  of_direct ~labels (fun l -> supers.(l))
+
+let height t =
+  let n = label_count t in
+  if n = 0 then 0
+  else begin
+    let memo = Array.make n (-1) in
+    let rec depth l =
+      if memo.(l) >= 0 then memo.(l)
+      else begin
+        let d =
+          List.fold_left (fun acc s -> max acc (1 + depth s)) 0 (superlabels t l)
+        in
+        memo.(l) <- d;
+        d
+      end
+    in
+    (* +1 for the virtual root [*] above every hierarchy root *)
+    1 + Array.fold_left max 0 (Array.init n depth)
+  end
+
+let memory_bytes t =
+  Array.fold_left
+    (fun acc supers ->
+      acc + Lpp_util.Mem_size.word
+      + (Array.length supers * Lpp_util.Mem_size.int_entry))
+    0 t.supers

@@ -1,0 +1,33 @@
+(** Label partition D_L (Section 4.2.1): clusters of labels such that labels
+    in different clusters are disjoint (no node carries both).
+
+    Inferred as the connected components of the label co-occurrence graph: two
+    labels overlap when some node carries both, and overlapping labels must
+    share a cluster; components then guarantee cross-cluster disjointness. *)
+
+type t
+
+val trivial : int -> t
+(** All labels in one cluster — the substitute when D_L is unavailable. *)
+
+val of_clusters : labels:int -> int list list -> t
+(** Explicit clusters; unlisted labels each get a singleton cluster.
+    @raise Invalid_argument if a label appears twice or is out of range. *)
+
+val infer : Lpp_pgraph.Graph.t -> t
+
+val label_count : t -> int
+
+val cluster_count : t -> int
+(** Table 1's "D_L components". *)
+
+val cluster_of : t -> int -> int
+
+val clusters : t -> int array array
+(** Cluster id → member labels, ascending. Do not mutate. *)
+
+val disjoint : t -> int -> int -> bool
+(** Different clusters ⟹ provably disjoint. Same cluster ⟹ unknown (treated
+    as overlapping). Labels are never disjoint from themselves. *)
+
+val memory_bytes : t -> int

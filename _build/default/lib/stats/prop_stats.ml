@@ -1,0 +1,123 @@
+open Lpp_pgraph
+
+type owner = Node_label of int | Rel_type of int | Any_node | Any_rel
+
+type entry = {
+  owner_total : int;
+  with_key : int;
+  distinct : int;
+  mcvs : (Value.t * int) array;
+}
+
+type t = { entries : (owner * int, entry) Hashtbl.t }
+
+let mcv_limit = 10
+
+let find t owner ~key = Hashtbl.find_opt t.entries (owner, key)
+
+(* Accumulator per (owner, key): value frequency map. *)
+type acc = { mutable n_with_key : int; values : (Value.t, int) Hashtbl.t }
+
+let build g =
+  let accs : (owner * int, acc) Hashtbl.t = Hashtbl.create 256 in
+  let touch owner key value =
+    let a =
+      match Hashtbl.find_opt accs (owner, key) with
+      | Some a -> a
+      | None ->
+          let a = { n_with_key = 0; values = Hashtbl.create 8 } in
+          Hashtbl.add accs (owner, key) a;
+          a
+    in
+    a.n_with_key <- a.n_with_key + 1;
+    let c = Option.value ~default:0 (Hashtbl.find_opt a.values value) in
+    Hashtbl.replace a.values value (c + 1)
+  in
+  Graph.iter_nodes g (fun nd ->
+      let labels = Graph.node_labels g nd in
+      Array.iter
+        (fun (k, v) ->
+          touch Any_node k v;
+          Array.iter (fun l -> touch (Node_label l) k v) labels)
+        (Graph.node_props g nd));
+  Graph.iter_rels g (fun r ->
+      let typ = Graph.rel_type g r in
+      Array.iter
+        (fun (k, v) ->
+          touch Any_rel k v;
+          touch (Rel_type typ) k v)
+        (Graph.rel_props g r));
+  (* totals per owner *)
+  let rel_type_totals = Array.make (Graph.rel_type_count g) 0 in
+  Graph.iter_rels g (fun r ->
+      let t = Graph.rel_type g r in
+      rel_type_totals.(t) <- rel_type_totals.(t) + 1);
+  let owner_total = function
+    | Any_node -> Graph.node_count g
+    | Any_rel -> Graph.rel_count g
+    | Node_label l -> Array.length (Graph.nodes_with_label g l)
+    | Rel_type t -> rel_type_totals.(t)
+  in
+  let entries = Hashtbl.create (Hashtbl.length accs) in
+  Hashtbl.iter
+    (fun (owner, key) a ->
+      let pairs =
+        Hashtbl.fold (fun v c l -> (v, c) :: l) a.values [] |> Array.of_list
+      in
+      Array.sort
+        (fun (v1, c1) (v2, c2) ->
+          match Int.compare c2 c1 with
+          | 0 -> Value.compare v1 v2
+          | other -> other)
+        pairs;
+      let mcvs = Array.sub pairs 0 (min mcv_limit (Array.length pairs)) in
+      Hashtbl.add entries (owner, key)
+        {
+          owner_total = owner_total owner;
+          with_key = a.n_with_key;
+          distinct = Array.length pairs;
+          mcvs;
+        })
+    accs;
+  { entries }
+
+let selectivity t owner ~key pred =
+  match find t owner ~key with
+  | None -> 0.0
+  | Some e ->
+      if e.owner_total = 0 then 0.0
+      else begin
+        let exists_sel = float_of_int e.with_key /. float_of_int e.owner_total in
+        match (pred : Lpp_pattern.Pattern.prop_pred) with
+        | Exists -> exists_sel
+        | Eq v -> begin
+            match Array.find_opt (fun (mv, _) -> Value.equal mv v) e.mcvs with
+            | Some (_, c) -> float_of_int c /. float_of_int e.owner_total
+            | None ->
+                let mcv_mass =
+                  Array.fold_left (fun acc (_, c) -> acc + c) 0 e.mcvs
+                in
+                let tail_distinct = e.distinct - Array.length e.mcvs in
+                if tail_distinct <= 0 then 0.0
+                else begin
+                  let tail_share =
+                    float_of_int (e.with_key - mcv_mass)
+                    /. float_of_int tail_distinct
+                  in
+                  tail_share /. float_of_int e.owner_total
+                end
+          end
+      end
+
+let entry_count t = Hashtbl.length t.entries
+
+let memory_bytes t =
+  let open Lpp_util.Mem_size in
+  Hashtbl.fold
+    (fun _ e acc ->
+      acc
+      + table_entry
+          ~key_bytes:(2 * int_entry)
+          ~value_bytes:
+            ((3 * int_entry) + (Array.length e.mcvs * (word + int_entry))))
+    t.entries 0

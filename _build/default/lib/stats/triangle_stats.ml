@@ -1,0 +1,84 @@
+open Lpp_pgraph
+
+type t = {
+  wedges : float;
+  rate_directed : float;
+  rate_undirected : float;
+  exact : bool;
+}
+
+(* distinct undirected neighbours per node, plus directed adjacency sets *)
+let adjacency g =
+  let n = Graph.node_count g in
+  let out_sets = Array.init n (fun _ -> Hashtbl.create 4) in
+  let neigh = Array.init n (fun _ -> Hashtbl.create 8) in
+  Graph.iter_rels g (fun r ->
+      let s = Graph.rel_src g r and d = Graph.rel_dst g r in
+      if s <> d then begin
+        Hashtbl.replace out_sets.(s) d ();
+        Hashtbl.replace neigh.(s) d ();
+        Hashtbl.replace neigh.(d) s ()
+      end);
+  (out_sets, neigh)
+
+let build ?(max_wedges = 2_000_000) g =
+  let out_sets, neigh = adjacency g in
+  let neighbours =
+    Array.map (fun s -> Array.of_seq (Seq.map fst (Hashtbl.to_seq s))) neigh
+  in
+  let total_wedges =
+    Array.fold_left
+      (fun acc ns ->
+        let d = Array.length ns in
+        acc +. (float_of_int d *. float_of_int (d - 1) /. 2.0))
+      0.0 neighbours
+  in
+  if total_wedges <= 0.0 then
+    { wedges = 0.0; rate_directed = 0.0; rate_undirected = 0.0; exact = true }
+  else begin
+    let exact = total_wedges <= float_of_int max_wedges in
+    let ratio =
+      if exact then 1.0 else float_of_int max_wedges /. total_wedges
+    in
+    let sampled = ref 0.0 and closings = ref 0.0 in
+    (* Per-centre deterministic sampling: every centre contributes all of its
+       wedges, or an evenly strided subset at the global ratio. *)
+    Array.iter
+      (fun ns ->
+        let d = Array.length ns in
+        if d >= 2 then begin
+          let all = float_of_int d *. float_of_int (d - 1) /. 2.0 in
+          let want =
+            if exact then int_of_float all
+            else max 1 (int_of_float (Float.round (all *. ratio)))
+          in
+          let step = max 1 (int_of_float (all /. float_of_int want)) in
+          let idx = ref 0 and taken = ref 0 in
+          (try
+             for i = 0 to d - 2 do
+               for j = i + 1 to d - 1 do
+                 if !idx mod step = 0 then begin
+                   incr taken;
+                   sampled := !sampled +. 1.0;
+                   if Hashtbl.mem out_sets.(ns.(i)) ns.(j) then
+                     closings := !closings +. 1.0;
+                   if Hashtbl.mem out_sets.(ns.(j)) ns.(i) then
+                     closings := !closings +. 1.0;
+                   if (not exact) && !taken >= want then raise Exit
+                 end;
+                 incr idx
+               done
+             done
+           with Exit -> ())
+        end)
+      neighbours;
+    let per_wedge = if !sampled <= 0.0 then 0.0 else !closings /. !sampled in
+    {
+      wedges = total_wedges;
+      rate_directed = per_wedge /. 2.0;
+      rate_undirected = per_wedge;
+      exact;
+    }
+  end
+
+let memory_bytes _ = 3 * Lpp_util.Mem_size.float_entry

@@ -1,0 +1,26 @@
+(** Triangle statistics — the "more sophisticated graph statistics" the paper
+    names as future work (Section 7).
+
+    We keep the wedge-closure rates of the graph: the probability that the two
+    endpoints of a 2-path (wedge) are themselves connected, measured per
+    *orientation*. The estimator's triangle-aware MergeOn (configuration
+    [A-LHDT]) replaces the independence assumption for 3-cycles with these
+    rates, attacking exactly the cyclic-pattern underestimation the paper
+    reports. *)
+
+type t = {
+  wedges : float;  (** unordered 2-paths in the undirected skeleton *)
+  rate_directed : float;
+      (** per ordered endpoint pair (2 per wedge): probability of at least
+          one relationship in that specific direction *)
+  rate_undirected : float;
+      (** per wedge: expected closing matches when direction is free
+          (each orientation counts once, as the Expand does) *)
+  exact : bool;  (** whether the census was exhaustive or sampled *)
+}
+
+val build : ?max_wedges:int -> Lpp_pgraph.Graph.t -> t
+(** Exhaustive when the wedge count is at most [max_wedges] (default 2M);
+    otherwise a deterministic stratified sample of that size. *)
+
+val memory_bytes : t -> int

@@ -1,0 +1,1 @@
+lib/util/mem_size.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/util/quantiles.ml: Array Float Format

@@ -1,0 +1,1 @@
+lib/util/quantiles.mli: Format

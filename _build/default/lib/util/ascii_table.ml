@@ -1,0 +1,66 @@
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list (* reversed *) }
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  let n_head = List.length t.headers in
+  let n = List.length cells in
+  if n > n_head then invalid_arg "Ascii_table.add_row: too many cells";
+  let padded =
+    if n = n_head then cells else cells @ List.init (n_head - n) (fun _ -> "")
+  in
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let widths t =
+  let base = List.map String.length t.headers in
+  List.fold_left
+    (fun acc row ->
+      match row with
+      | Separator -> acc
+      | Cells cells -> List.map2 (fun w c -> max w (String.length c)) acc cells)
+    base (List.rev t.rows)
+
+let pad width s = s ^ String.make (width - String.length s) ' '
+
+let render t =
+  let ws = widths t in
+  let buf = Buffer.create 256 in
+  let line cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i (w, c) ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad w c))
+      (List.combine ws cells);
+    Buffer.add_string buf " |\n"
+  in
+  let rule () =
+    Buffer.add_char buf '+';
+    List.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      ws;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter
+    (fun row -> match row with Separator -> rule () | Cells cells -> line cells)
+    (List.rev t.rows);
+  rule ();
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | Some title ->
+      print_newline ();
+      print_endline title;
+      print_endline (String.make (String.length title) '=')
+  | None -> ());
+  print_string (render t)

@@ -1,0 +1,18 @@
+(** Minimal fixed-width ASCII table rendering for benchmark reports. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows
+    raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Insert a horizontal rule between row groups. *)
+
+val render : t -> string
+
+val print : ?title:string -> t -> unit
+(** Render to stdout, optionally preceded by an underlined title. *)

@@ -1,0 +1,100 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to 62 bits to stay within OCaml's native int range. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  (* 53 random bits scaled to [0,1). *)
+  bound *. (float_of_int v /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let coin t p = float t 1.0 < p
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k arr =
+  let n = Array.length arr in
+  if k >= n then begin
+    let out = Array.copy arr in
+    shuffle t out;
+    out
+  end else begin
+    (* Reservoir sampling keeps memory proportional to [k]. *)
+    let out = Array.sub arr 0 k in
+    for i = k to n - 1 do
+      let j = int t (i + 1) in
+      if j < k then out.(j) <- arr.(i)
+    done;
+    shuffle t out;
+    out
+  end
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  if n = 1 then 0
+  else begin
+    (* Rejection sampling after Jason Crease / Devroye: efficient for s >= 0. *)
+    let nf = float_of_int n in
+    let rec try_once () =
+      let u = Float.max (float t 1.0) 1e-12 in
+      let x =
+        if Float.abs (s -. 1.0) < 1e-9 then Float.exp (u *. Float.log nf)
+        else ((nf ** (1.0 -. s) -. 1.0) *. u +. 1.0) ** (1.0 /. (1.0 -. s))
+      in
+      let k = int_of_float x in
+      let k = if k < 1 then 1 else if k > n then n else k in
+      let ratio = (float_of_int k /. x) ** s in
+      if float t 1.0 <= ratio then k - 1 else try_once ()
+    in
+    try_once ()
+  end
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0,1]";
+  if p >= 1.0 then 0
+  else
+    let u = Float.max (float t 1.0) 1e-300 in
+    int_of_float (Float.log u /. Float.log (1.0 -. p))

@@ -1,0 +1,57 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All randomised components of the library (dataset generators, workload
+    generators, Wander Join) take an explicit [Rng.t] so that every experiment
+    is reproducible from a single integer seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** Independent copy sharing the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val coin : t -> float -> bool
+(** [coin t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> 'a array -> 'a array
+(** [sample_without_replacement t k arr] returns [min k (Array.length arr)]
+    distinct elements chosen uniformly. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] draws from a Zipf distribution over [\[0, n)] with skew
+    exponent [s] (rejection-free inverse-CDF over precomputed weights is not
+    used; this is an approximate rejection sampler suitable for generators). *)
+
+val geometric : t -> p:float -> int
+(** Number of failures before the first success; [p] is the success
+    probability, result in [\[0, ∞)]. *)

@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Array Graph Hashtbl Int List Lpp_datasets Lpp_exec Lpp_pattern Lpp_pgraph Lpp_util Pattern Queue Rng Shape

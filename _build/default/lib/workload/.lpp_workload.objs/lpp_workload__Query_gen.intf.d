@@ -1,0 +1,1 @@
+lib/workload/query_gen.mli: Lpp_datasets Lpp_pattern Lpp_util

@@ -1,0 +1,337 @@
+open Lpp_pgraph
+open Lpp_pattern
+open Lpp_util
+
+type query = {
+  id : int;
+  pattern : Pattern.t;
+  shape : Shape.t;
+  size : int;
+  true_card : int;
+}
+
+type flavour = With_props | No_props
+
+type spec = {
+  flavour : flavour;
+  target : int;
+  max_nodes : int;
+  truth_budget : int;
+  attempts : int;
+}
+
+let default_spec flavour =
+  {
+    flavour;
+    target = 120;
+    max_nodes = 7;
+    truth_budget = 30_000_000;
+    attempts = 480;
+  }
+
+let size_bucket size =
+  if size <= 4 then "2-4"
+  else if size <= 6 then "5-6"
+  else if size <= 8 then "7-8"
+  else "9+"
+
+(* -------------------------------------------------------------------- *)
+(* Step 1: sample a concrete connected subgraph anchored at a random node *)
+(* -------------------------------------------------------------------- *)
+
+type growth = Path | Star | Random_tree
+
+type sampled = {
+  s_nodes : int array;  (* graph node ids *)
+  s_rels : (int * int * int) array;  (* graph rel id, src index, dst index *)
+}
+
+let incident g nd =
+  Array.append (Graph.out_rels g nd) (Graph.in_rels g nd)
+
+let sample_subgraph rng g ~max_nodes =
+  let anchor =
+    let rec pick tries =
+      if tries > 100 then None
+      else begin
+        let nd = Rng.int rng (Graph.node_count g) in
+        if Graph.degree g Both nd > 0 then Some nd else pick (tries + 1)
+      end
+    in
+    pick 0
+  in
+  match anchor with
+  | None -> None
+  | Some anchor ->
+      let growth =
+        match Rng.int rng 3 with 0 -> Path | 1 -> Star | _ -> Random_tree
+      in
+      let target = Rng.int_in rng 3 max_nodes in
+      let nodes = ref [ anchor ] in
+      let index_of = Hashtbl.create 8 in
+      Hashtbl.add index_of anchor 0;
+      let rels = ref [] in
+      let rel_set = Hashtbl.create 8 in
+      let last = ref anchor in
+      let stuck = ref false in
+      while (not !stuck) && Hashtbl.length index_of < target do
+        let source =
+          match growth with
+          | Path -> !last
+          | Star -> anchor
+          | Random_tree -> Rng.pick_list rng !nodes
+        in
+        let candidates =
+          incident g source
+          |> Array.to_list
+          |> List.filter (fun r ->
+                 (not (Hashtbl.mem rel_set r))
+                 && not (Hashtbl.mem index_of (Graph.other_end g r source)))
+        in
+        match candidates with
+        | [] ->
+            (* path/star growth can wedge; fall back to any frontier node *)
+            let frontier =
+              List.concat_map
+                (fun nd ->
+                  incident g nd |> Array.to_list
+                  |> List.filter_map (fun r ->
+                         let other = Graph.other_end g r nd in
+                         if
+                           (not (Hashtbl.mem rel_set r))
+                           && not (Hashtbl.mem index_of other)
+                         then Some r
+                         else None))
+                !nodes
+            in
+            if frontier = [] then stuck := true
+            else begin
+              let r = Rng.pick_list rng frontier in
+              let src = Graph.rel_src g r and dst = Graph.rel_dst g r in
+              let fresh = if Hashtbl.mem index_of src then dst else src in
+              Hashtbl.add index_of fresh (Hashtbl.length index_of);
+              nodes := !nodes @ [ fresh ];
+              Hashtbl.add rel_set r ();
+              rels := r :: !rels;
+              last := fresh
+            end
+        | _ ->
+            let r = Rng.pick_list rng candidates in
+            let fresh = Graph.other_end g r source in
+            Hashtbl.add index_of fresh (Hashtbl.length index_of);
+            nodes := !nodes @ [ fresh ];
+            Hashtbl.add rel_set r ();
+            rels := r :: !rels;
+            last := fresh
+      done;
+      if Hashtbl.length index_of < 3 then None
+      else begin
+        (* optionally close cycles with relationships between chosen nodes *)
+        if Rng.coin rng 0.4 then begin
+          let extra =
+            List.concat_map
+              (fun nd ->
+                Graph.out_rels g nd |> Array.to_list
+                |> List.filter (fun r ->
+                       (not (Hashtbl.mem rel_set r))
+                       && Hashtbl.mem index_of (Graph.rel_dst g r)
+                       && Graph.rel_src g r <> Graph.rel_dst g r))
+              !nodes
+          in
+          let extra = Array.of_list extra in
+          Rng.shuffle rng extra;
+          let take = min (Array.length extra) (1 + Rng.int rng 2) in
+          for i = 0 to take - 1 do
+            Hashtbl.add rel_set extra.(i) ();
+            rels := extra.(i) :: !rels
+          done
+        end;
+        let s_nodes = Array.of_list !nodes in
+        let s_rels =
+          List.rev_map
+            (fun r ->
+              ( r,
+                Hashtbl.find index_of (Graph.rel_src g r),
+                Hashtbl.find index_of (Graph.rel_dst g r) ))
+            !rels
+          |> Array.of_list
+        in
+        Some { s_nodes; s_rels }
+      end
+
+(* -------------------------------------------------------------------- *)
+(* Step 2 + 3: fully specify, then generalise                            *)
+(* -------------------------------------------------------------------- *)
+
+let generalize rng g flavour (s : sampled) =
+  let label_keep = 0.15 +. Rng.float rng 0.85 in
+  let nodes =
+    Array.map
+      (fun nd ->
+        let labels =
+          Graph.node_labels g nd |> Array.to_list
+          |> List.filter (fun _ -> Rng.coin rng label_keep)
+          |> Array.of_list
+        in
+        { Pattern.n_labels = labels; n_props = [||] })
+      s.s_nodes
+  in
+  let rels =
+    Array.map
+      (fun (r, src, dst) ->
+        let drop_type, drop_dir =
+          match flavour with
+          | With_props -> (false, false) (* "set 1": universally supported *)
+          | No_props -> (Rng.coin rng 0.25, Rng.coin rng 0.3)
+        in
+        {
+          Pattern.r_src = src;
+          r_dst = dst;
+          r_types = (if drop_type then [||] else [| Graph.rel_type g r |]);
+          r_directed = not drop_dir;
+          r_props = [||];
+          r_hops = None;
+        })
+      s.s_rels
+  in
+  (* attach up to three property predicates taken from the concrete subgraph *)
+  (match flavour with
+  | No_props -> ()
+  | With_props ->
+      let n_props = Rng.int rng 4 in
+      let attached = ref 0 and tries = ref 0 in
+      while !attached < n_props && !tries < 20 do
+        incr tries;
+        let on_node = Rng.coin rng 0.8 in
+        if on_node then begin
+          let i = Rng.int rng (Array.length s.s_nodes) in
+          let props = Graph.node_props g s.s_nodes.(i) in
+          if Array.length props > 0 then begin
+            let k, v = props.(Rng.int rng (Array.length props)) in
+            let already =
+              Array.exists (fun (k', _) -> k' = k) nodes.(i).Pattern.n_props
+            in
+            if not already then begin
+              let pred =
+                if Rng.coin rng 0.7 then Pattern.Eq v else Pattern.Exists
+              in
+              nodes.(i) <-
+                {
+                  (nodes.(i)) with
+                  Pattern.n_props =
+                    Array.append nodes.(i).Pattern.n_props [| (k, pred) |];
+                };
+              incr attached
+            end
+          end
+        end
+        else begin
+          let j = Rng.int rng (Array.length s.s_rels) in
+          let r, _, _ = s.s_rels.(j) in
+          let props = Graph.rel_props g r in
+          if Array.length props > 0 then begin
+            let k, v = props.(Rng.int rng (Array.length props)) in
+            let already =
+              Array.exists (fun (k', _) -> k' = k) rels.(j).Pattern.r_props
+            in
+            if not already then begin
+              let pred =
+                if Rng.coin rng 0.7 then Pattern.Eq v else Pattern.Exists
+              in
+              rels.(j) <-
+                {
+                  (rels.(j)) with
+                  Pattern.r_props =
+                    Array.append rels.(j).Pattern.r_props [| (k, pred) |];
+                };
+              incr attached
+            end
+          end
+        end
+      done);
+  (* sort the label/prop arrays the way Pattern expects *)
+  let nodes =
+    Array.map
+      (fun (np : Pattern.node_pat) ->
+        let labels = Array.copy np.n_labels in
+        Array.sort Int.compare labels;
+        let props = Array.copy np.n_props in
+        Array.sort (fun (a, _) (b, _) -> Int.compare a b) props;
+        { Pattern.n_labels = labels; n_props = props })
+      nodes
+  in
+  Pattern.make ~nodes ~rels
+
+(* -------------------------------------------------------------------- *)
+(* Step 4: ground truth + stratified sampling                            *)
+(* -------------------------------------------------------------------- *)
+
+let generate rng (ds : Lpp_datasets.Dataset.t) spec =
+  let g = ds.graph in
+  let candidates = ref [] in
+  let n_candidates = ref 0 in
+  let attempt () =
+    match sample_subgraph rng g ~max_nodes:spec.max_nodes with
+    | None -> ()
+    | Some s -> begin
+        match generalize rng g spec.flavour s with
+        | exception Invalid_argument _ -> ()
+        | pattern -> begin
+            match
+              Lpp_exec.Matcher.count ~budget:spec.truth_budget g pattern
+            with
+            | Lpp_exec.Matcher.Budget_exceeded -> ()
+            | Count c when c <= 0 ->
+                (* cannot happen for anchored queries; skip defensively *)
+                ()
+            | Count c ->
+                incr n_candidates;
+                candidates :=
+                  ( Shape.classify pattern,
+                    Pattern.size pattern,
+                    pattern,
+                    c )
+                  :: !candidates
+          end
+      end
+  in
+  for _ = 1 to spec.attempts do
+    if !n_candidates < 4 * spec.target then attempt ()
+  done;
+  (* stratified sampling over (coarse shape, size bucket) *)
+  let strata : (string, (Shape.t * int * Pattern.t * int) Queue.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let shuffled = Array.of_list !candidates in
+  Rng.shuffle rng shuffled;
+  Array.iter
+    (fun ((shape, size, _, _) as cand) ->
+      let key = Shape.coarse shape ^ "/" ^ size_bucket size in
+      let q =
+        match Hashtbl.find_opt strata key with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.add strata key q;
+            q
+      in
+      Queue.add cand q)
+    shuffled;
+  let queues = Hashtbl.fold (fun _ q acc -> q :: acc) strata [] in
+  let taken = ref [] in
+  let n_taken = ref 0 in
+  let progress = ref true in
+  while !n_taken < spec.target && !progress do
+    progress := false;
+    List.iter
+      (fun q ->
+        if !n_taken < spec.target && not (Queue.is_empty q) then begin
+          taken := Queue.pop q :: !taken;
+          incr n_taken;
+          progress := true
+        end)
+      queues
+  done;
+  List.rev !taken
+  |> List.mapi (fun id (shape, size, pattern, true_card) ->
+         { id; pattern; shape; size; true_card })

@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Graph Graph_builder Lpp_datasets Lpp_pgraph Value

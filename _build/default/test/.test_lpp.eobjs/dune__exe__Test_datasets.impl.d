@@ -1,0 +1,1 @@
+test/test_datasets.ml: Alcotest Array Catalog Direction Fixtures Graph Int Interner Label_hierarchy Label_partition Lazy List Lpp_datasets Lpp_pgraph Lpp_stats Option Printf

@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest Algebra Array Config Estimator Fixtures Float Label_probs Lazy List Lpp_core Lpp_pattern Lpp_pgraph Lpp_stats Lpp_util Lpp_workload Option Pattern Planner Printf

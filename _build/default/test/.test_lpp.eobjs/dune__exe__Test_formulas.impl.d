@@ -1,0 +1,1 @@
+test/test_formulas.ml: Alcotest Array Config Estimator Fixtures Lazy List Lpp_core Lpp_pattern Lpp_pgraph Lpp_stats Pattern String

@@ -1,0 +1,1 @@
+test/test_graph_io.ml: Alcotest Filename Fixtures Fun Graph Graph_builder Graph_io Interner Lazy Lpp_pgraph Lpp_stats Result Sys Value

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Fixtures Float Lazy List Lpp_core Lpp_datasets Lpp_harness Lpp_pattern Lpp_util Lpp_workload Pattern Printf Shape

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Array Catalog Direction Fixtures Graph Graph_builder Interner List Lpp_core Lpp_exec Lpp_pattern Lpp_pgraph Lpp_stats Lpp_util Option Printf

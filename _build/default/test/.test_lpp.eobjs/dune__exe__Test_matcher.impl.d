@@ -1,0 +1,1 @@
+test/test_matcher.ml: Alcotest Array Fixtures Lazy List Lpp_exec Lpp_pattern Lpp_pgraph Matcher Option Pattern Planner Reference Semantics

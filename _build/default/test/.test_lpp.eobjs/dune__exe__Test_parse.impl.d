@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Array Fixtures Lazy Lpp_core Lpp_exec Lpp_harness Lpp_pattern Parse Pattern Printf Shape

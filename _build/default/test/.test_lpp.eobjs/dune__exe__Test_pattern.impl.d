@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Algebra Array Fixtures Format List Lpp_pattern Lpp_pgraph Pattern Result Shape Str_contains String

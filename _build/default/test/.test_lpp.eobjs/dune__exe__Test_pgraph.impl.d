@@ -1,0 +1,1 @@
+test/test_pgraph.ml: Alcotest Array Direction Fixtures Graph Graph_builder Interner Lpp_pgraph Lpp_util Option QCheck QCheck_alcotest Value

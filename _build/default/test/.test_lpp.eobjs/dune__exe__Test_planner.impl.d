@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Algebra Array Fixtures Format List Lpp_exec Lpp_pattern Lpp_pgraph Lpp_util Pattern Planner Result Rng

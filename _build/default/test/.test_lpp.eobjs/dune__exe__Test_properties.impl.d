@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Algebra Array Filename Fun List Lpp_core Lpp_exec Lpp_pattern Lpp_pgraph Lpp_stats Lpp_util Pattern Planner Rng Shape String Sys

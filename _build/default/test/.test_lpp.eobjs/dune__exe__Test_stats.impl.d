@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Catalog Direction Fixtures Graph Graph_builder Interner Label_hierarchy Label_partition Lazy List Lpp_pattern Lpp_pgraph Lpp_stats Option Printf Prop_stats Value

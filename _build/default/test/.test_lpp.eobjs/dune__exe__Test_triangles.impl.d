@@ -1,0 +1,1 @@
+test/test_triangles.ml: Alcotest Algebra Array Fixtures Float Lazy List Lpp_core Lpp_exec Lpp_harness Lpp_pattern Lpp_pgraph Lpp_stats Pattern Planner Printf Triangle_stats

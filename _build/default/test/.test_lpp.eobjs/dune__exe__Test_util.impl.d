@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_table Float Fun Gen Int List Lpp_util Mem_size QCheck QCheck_alcotest Quantiles Rng Set String

@@ -1,0 +1,1 @@
+test/test_varlen.ml: Alcotest Array Fixtures Format List Lpp_baselines Lpp_core Lpp_exec Lpp_pattern Lpp_pgraph Lpp_stats Lpp_util Option Pattern Printf Str_contains

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fixtures Float Lazy List Lpp_core Lpp_exec Lpp_harness Lpp_pattern Lpp_util Lpp_workload Printf QCheck QCheck_alcotest Query_gen String

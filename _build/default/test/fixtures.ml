@@ -1,0 +1,110 @@
+(* Shared test graphs.
+
+   [campus] mirrors the paper's running example (Figure 2): a tiny university
+   graph whose labels exhibit all three label relationships of Section 4.2.1 —
+   Student/Tutor/Teacher are sublabels of Person (Student and Tutor overlap,
+   Student and Teacher are disjoint in the data), Seminar is a sublabel of
+   Course, and the Person cluster is disjoint from the Course cluster. *)
+
+open Lpp_pgraph
+
+type campus = {
+  graph : Graph.t;
+  course_a : Graph.node;
+  teacher_b : Graph.node;
+  tutor_c : Graph.node;
+  seminar_d : Graph.node;
+  student_e : Graph.node;
+  student_f : Graph.node;
+}
+
+let campus () =
+  let b = Graph_builder.create () in
+  let str s = Value.Str s in
+  let course_a =
+    Graph_builder.add_node b ~labels:[ "Course" ]
+      ~props:[ ("title", str "Databases") ]
+  in
+  let teacher_b =
+    Graph_builder.add_node b
+      ~labels:[ "Person"; "Teacher" ]
+      ~props:[ ("name", str "Beatrix") ]
+  in
+  let tutor_c =
+    Graph_builder.add_node b
+      ~labels:[ "Person"; "Student"; "Tutor" ]
+      ~props:[ ("name", str "Carol") ]
+  in
+  let seminar_d =
+    Graph_builder.add_node b
+      ~labels:[ "Course"; "Seminar" ]
+      ~props:[ ("title", str "Graph Seminar") ]
+  in
+  let student_e =
+    Graph_builder.add_node b
+      ~labels:[ "Person"; "Student" ]
+      ~props:[ ("name", str "Emil") ]
+  in
+  let student_f =
+    Graph_builder.add_node b
+      ~labels:[ "Person"; "Student" ]
+      ~props:[ ("name", str "Fiona"); ("semester", Value.Int 3) ]
+  in
+  let rel src dst rel_type =
+    ignore (Graph_builder.add_rel b ~src ~dst ~rel_type ~props:[])
+  in
+  rel teacher_b course_a "teaches";
+  rel teacher_b seminar_d "teaches";
+  rel tutor_c teacher_b "assistantOf";
+  rel tutor_c course_a "attends";
+  rel student_e course_a "attends";
+  rel student_e seminar_d "attends";
+  rel student_f seminar_d "attends";
+  rel student_e tutor_c "likes";
+  rel tutor_c student_e "likes";
+  {
+    graph = Graph_builder.freeze b;
+    course_a;
+    teacher_b;
+    tutor_c;
+    seminar_d;
+    student_e;
+    student_f;
+  }
+
+(* A directed triangle plus a pendant node, for cycle tests:
+   t0 -> t1 -> t2 -> t0, t2 -> p. All rels typed "e", all nodes labeled "N". *)
+let triangle () =
+  let b = Graph_builder.create () in
+  let n () = Graph_builder.add_node b ~labels:[ "N" ] ~props:[] in
+  let t0 = n () and t1 = n () and t2 = n () and p = n () in
+  let e src dst = ignore (Graph_builder.add_rel b ~src ~dst ~rel_type:"e" ~props:[]) in
+  e t0 t1;
+  e t1 t2;
+  e t2 t0;
+  e t2 p;
+  (Graph_builder.freeze b, (t0, t1, t2, p))
+
+(* A uniform bipartite graph: [k_left] nodes labeled L each with exactly
+   [deg] edges of type "t" to distinct nodes labeled R (round-robin over
+   [k_right] R-nodes). Degrees are exactly uniform, so estimator formulas
+   that assume label-uniform degrees become exact. *)
+let bipartite ~k_left ~k_right ~deg =
+  let b = Graph_builder.create () in
+  let left = Array.init k_left (fun _ -> Graph_builder.add_node b ~labels:[ "L" ] ~props:[]) in
+  let right = Array.init k_right (fun _ -> Graph_builder.add_node b ~labels:[ "R" ] ~props:[]) in
+  Array.iteri
+    (fun i l ->
+      for j = 0 to deg - 1 do
+        let r = right.(((i * deg) + j) mod k_right) in
+        ignore (Graph_builder.add_rel b ~src:l ~dst:r ~rel_type:"t" ~props:[])
+      done)
+    left;
+  Graph_builder.freeze b
+
+let small_snb = lazy (Lpp_datasets.Snb_gen.generate ~persons:120 ~seed:1 ())
+
+let small_cineasts = lazy (Lpp_datasets.Cineasts_gen.generate ~movies:250 ~seed:2 ())
+
+let small_dbpedia =
+  lazy (Lpp_datasets.Dbpedia_gen.generate ~entities:2000 ~classes:40 ~rel_kinds:25 ~seed:3 ())

@@ -1,0 +1,10 @@
+(* Substring check for test assertions (OCaml 5.1 has no String.is_substring). *)
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then true
+  else begin
+    let rec go i =
+      i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+    in
+    go 0
+  end

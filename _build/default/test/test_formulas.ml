@@ -1,0 +1,126 @@
+(* Fine-grained checks of the Section 5 formulas, via estimates whose values
+   can be derived by hand on the campus fixture (see Fixtures.campus). *)
+
+open Lpp_pattern
+open Lpp_core
+
+let campus = lazy (
+  let f = Fixtures.campus () in
+  (f.graph, Lpp_stats.Catalog.build f.graph))
+
+let est config specs rels =
+  let g, cat = Lazy.force campus in
+  Estimator.estimate_pattern config cat (Pattern.of_spec g specs rels)
+
+let check = Alcotest.(check (float 1e-9))
+
+(* Section 5.2, case 3: selecting the superlabel first leaves the sublabel
+   with P(sub)/P(super); selecting it next yields NC(sub) exactly. *)
+let test_case3_superlabel_then_sublabel () =
+  (* Person interned before Student, so selections run Person, Student:
+     6 × (4/6) × ((3/6)/(4/6)) = 3 *)
+  check "Person∧Student = 3" 3.0
+    (est Config.a_lhd [ Pattern.node_spec ~labels:[ "Person"; "Student" ] () ] [])
+
+(* Section 5.2, case 2: sublabel first makes the superlabel free. Tutor is
+   interned after Student; select Student(3/6) then Tutor: without hierarchy,
+   independence gives ×P(Tutor) = 1/6; with data-inferred Tutor ⊑ Student,
+   case 3 applies instead: (1/6)/(3/6) = 1/3 → exact 1. *)
+let test_overlapping_sublabels () =
+  check "Student∧Tutor exact with H_L" 1.0
+    (est Config.a_lh [ Pattern.node_spec ~labels:[ "Student"; "Tutor" ] () ] []);
+  check "Student∧Tutor independence" 0.5
+    (est Config.a_l [ Pattern.node_spec ~labels:[ "Student"; "Tutor" ] () ] [])
+
+(* Section 5.2, case 5: disjoint labels zero out, regardless of order. *)
+let test_case5_all_orders () =
+  List.iter
+    (fun labels ->
+      check
+        (String.concat "," labels ^ " = 0")
+        0.0
+        (est Config.a_lhd [ Pattern.node_spec ~labels () ] []))
+    [ [ "Person"; "Course" ]; [ "Course"; "Person" ]; [ "Student"; "Seminar" ] ]
+
+(* Section 5.1: GetNodes initialises label probabilities with NC(ℓ)/NC(✱);
+   a single label selection is therefore always exact. *)
+let test_every_single_label_exact () =
+  let g, _ = Lazy.force campus in
+  Lpp_pgraph.Interner.iter (Lpp_pgraph.Graph.labels g) (fun id name ->
+      let truth =
+        float_of_int (Array.length (Lpp_pgraph.Graph.nodes_with_label g id))
+      in
+      check (name ^ " exact") truth
+        (est Config.a_lhd [ Pattern.node_spec ~labels:[ name ] () ] []))
+
+(* Section 5.4: expansion through a typed relationship from a selected label
+   is RC(ℓ,t,✱)/NC(ℓ)-exact. teaches: 2 rels, both from the 1 Teacher. *)
+let test_expand_degree_exact () =
+  check "(Teacher)-[teaches]->() = 2" 2.0
+    (est Config.a_lhd
+       [ Pattern.node_spec ~labels:[ "Teacher" ] (); Pattern.node_spec () ]
+       [ Pattern.rel_spec ~types:[ "teaches" ] ~src:0 ~dst:1 () ]);
+  (* and the propagated target probabilities make the follow-up label
+     selection exact: both teaches-targets are Courses *)
+  check "(Teacher)-[teaches]->(Course) = 2" 2.0
+    (est Config.a_lhd
+       [ Pattern.node_spec ~labels:[ "Teacher" ] ();
+         Pattern.node_spec ~labels:[ "Course" ] () ]
+       [ Pattern.rel_spec ~types:[ "teaches" ] ~src:0 ~dst:1 () ]);
+  (* a contradictory target label is propagated to zero *)
+  check "(Teacher)-[teaches]->(Person) = 0" 0.0
+    (est Config.a_lhd
+       [ Pattern.node_spec ~labels:[ "Teacher" ] ();
+         Pattern.node_spec ~labels:[ "Person" ] () ]
+       [ Pattern.rel_spec ~types:[ "teaches" ] ~src:0 ~dst:1 () ])
+
+(* Section 5.3: existence predicates with per-label statistics. All four
+   Persons carry "name", so the predicate is free on Person. *)
+let test_prop_free_when_universal () =
+  check "(Person {name}) = 4" 4.0
+    (est Config.a_lhd
+       [ Pattern.node_spec ~labels:[ "Person" ] ~props:[ ("name", Pattern.Exists) ] () ]
+       [])
+
+(* Unknown vocabulary: a label that does not exist in the data estimates 0. *)
+let test_unknown_label () =
+  check "unknown label" 0.0
+    (est Config.a_lhd [ Pattern.node_spec ~labels:[ "Martian" ] () ] []);
+  check "unknown type" 0.0
+    (est Config.a_lhd
+       [ Pattern.node_spec (); Pattern.node_spec () ]
+       [ Pattern.rel_spec ~types:[ "teleports" ] ~src:0 ~dst:1 () ])
+
+(* Estimates are invariant under the textual order of node specs that the
+   planner reorders anyway. *)
+let test_spec_order_invariance () =
+  let a =
+    est Config.a_lhd
+      [ Pattern.node_spec ~labels:[ "Student" ] ();
+        Pattern.node_spec ~labels:[ "Course" ] () ]
+      [ Pattern.rel_spec ~types:[ "attends" ] ~src:0 ~dst:1 () ]
+  in
+  let b =
+    est Config.a_lhd
+      [ Pattern.node_spec ~labels:[ "Course" ] ();
+        Pattern.node_spec ~labels:[ "Student" ] () ]
+      [ Pattern.rel_spec ~types:[ "attends" ] ~src:1 ~dst:0 () ]
+  in
+  check "mirrored specs agree" a b
+
+let suite =
+  [
+    Alcotest.test_case "formula: case 3 ordering" `Quick
+      test_case3_superlabel_then_sublabel;
+    Alcotest.test_case "formula: overlapping sublabels" `Quick
+      test_overlapping_sublabels;
+    Alcotest.test_case "formula: disjoint orders" `Quick test_case5_all_orders;
+    Alcotest.test_case "formula: single labels exact" `Quick
+      test_every_single_label_exact;
+    Alcotest.test_case "formula: expand degrees" `Quick test_expand_degree_exact;
+    Alcotest.test_case "formula: universal prop free" `Quick
+      test_prop_free_when_universal;
+    Alcotest.test_case "formula: unknown vocabulary" `Quick test_unknown_label;
+    Alcotest.test_case "formula: spec order invariance" `Quick
+      test_spec_order_invariance;
+  ]

@@ -1,0 +1,115 @@
+(* Tests for Lpp_pgraph.Graph_io: round-trips and malformed input. *)
+
+open Lpp_pgraph
+
+let roundtrip g =
+  let path = Filename.temp_file "lpp_graph" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Graph_io.save g path;
+      match Graph_io.load path with
+      | Error msg -> Alcotest.failf "load failed: %s" msg
+      | Ok g' -> g')
+
+let graphs_equal g g' =
+  Graph.node_count g = Graph.node_count g'
+  && Graph.rel_count g = Graph.rel_count g'
+  && Graph.property_count g = Graph.property_count g'
+  && Graph.fold_nodes g ~init:true ~f:(fun acc nd ->
+         acc
+         && Graph.node_labels g nd = Graph.node_labels g' nd
+         && Graph.node_props g nd = Graph.node_props g' nd)
+  && Graph.fold_rels g ~init:true ~f:(fun acc r ->
+         acc
+         && Graph.rel_src g r = Graph.rel_src g' r
+         && Graph.rel_dst g r = Graph.rel_dst g' r
+         && Graph.rel_type g r = Graph.rel_type g' r
+         && Graph.rel_props g r = Graph.rel_props g' r)
+
+let names_equal g g' =
+  let same i i' =
+    Interner.size i = Interner.size i'
+    && Interner.fold i ~init:true ~f:(fun acc id name ->
+           acc && Interner.name i' id = name)
+  in
+  same (Graph.labels g) (Graph.labels g')
+  && same (Graph.rel_types g) (Graph.rel_types g')
+  && same (Graph.prop_keys g) (Graph.prop_keys g')
+
+let test_roundtrip_campus () =
+  let g = (Fixtures.campus ()).graph in
+  let g' = roundtrip g in
+  Alcotest.(check bool) "structure preserved" true (graphs_equal g g');
+  Alcotest.(check bool) "vocabulary preserved" true (names_equal g g')
+
+let test_roundtrip_special_values () =
+  let b = Graph_builder.create () in
+  let n =
+    Graph_builder.add_node b
+      ~labels:[ "Weird\tLabel"; "Line\nBreak" ]
+      ~props:
+        [ ("tabbed", Value.Str "a\tb");
+          ("multiline", Value.Str "a\nb\\c");
+          ("float", Value.Float 0.1);
+          ("neg", Value.Int (-42));
+          ("flag", Value.Bool false) ]
+  in
+  let _ =
+    Graph_builder.add_rel b ~src:n ~dst:n ~rel_type:"self"
+      ~props:[ ("w", Value.Float infinity) ]
+  in
+  let g = Graph_builder.freeze b in
+  let g' = roundtrip g in
+  Alcotest.(check bool) "escapes round-trip" true (graphs_equal g g');
+  Alcotest.(check bool) "names round-trip" true (names_equal g g')
+
+let test_roundtrip_snb_stats () =
+  (* the statistics catalog built on a reloaded graph is identical *)
+  let ds = Lazy.force Fixtures.small_snb in
+  let g' = roundtrip ds.graph in
+  let c = ds.catalog and c' = Lpp_stats.Catalog.build g' in
+  Alcotest.(check int) "NC(*)" (Lpp_stats.Catalog.nc_star c) (Lpp_stats.Catalog.nc_star c');
+  for l = 0 to Graph.label_count ds.graph - 1 do
+    Alcotest.(check int) "NC(l)" (Lpp_stats.Catalog.nc c l) (Lpp_stats.Catalog.nc c' l)
+  done;
+  Alcotest.(check int) "memory identical"
+    (Lpp_stats.Catalog.memory_bytes_advanced c)
+    (Lpp_stats.Catalog.memory_bytes_advanced c')
+
+let read_string s =
+  let path = Filename.temp_file "lpp_bad" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc;
+      Graph_io.load path)
+
+let test_bad_inputs () =
+  let expect_error s =
+    match read_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected failure for %S" s
+  in
+  expect_error "";
+  expect_error "not-the-magic\n";
+  expect_error "lpp-graph v1\nnode\t5\n";
+  expect_error "lpp-graph v1\nnode\t0\t7\n" (* label id out of range *);
+  expect_error "lpp-graph v1\nnode\t0\nrel\t0\t0\t3\t0\n" (* endpoint range *);
+  expect_error "lpp-graph v1\ngarbage line\n";
+  expect_error "lpp-graph v1\nnode\t0\nnprop\t0\t0\tq:huh\n"
+
+let test_missing_file () =
+  Alcotest.(check bool) "load missing is Error" true
+    (Result.is_error (Graph_io.load "/nonexistent/path/graph.txt"))
+
+let suite =
+  [
+    Alcotest.test_case "io: campus roundtrip" `Quick test_roundtrip_campus;
+    Alcotest.test_case "io: escapes" `Quick test_roundtrip_special_values;
+    Alcotest.test_case "io: stats identical" `Quick test_roundtrip_snb_stats;
+    Alcotest.test_case "io: malformed input" `Quick test_bad_inputs;
+    Alcotest.test_case "io: missing file" `Quick test_missing_file;
+  ]

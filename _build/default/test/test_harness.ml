@@ -1,0 +1,97 @@
+(* Tests for Lpp_harness.Technique wrappers and end-to-end harness behaviour
+   on the campus fixture, plus remaining report/runner edge cases. *)
+
+open Lpp_pattern
+
+let ds = lazy (Lpp_datasets.Dataset.make ~name:"campus" (Fixtures.campus ()).graph)
+
+let simple_pattern () =
+  let g = (Lazy.force ds).graph in
+  Pattern.of_spec g
+    [ Pattern.node_spec ~labels:[ "Student" ] (); Pattern.node_spec () ]
+    [ Pattern.rel_spec ~types:[ "attends" ] ~src:0 ~dst:1 () ]
+
+let test_technique_names () =
+  let ds = Lazy.force ds in
+  let names =
+    List.map
+      (fun (t : Lpp_harness.Technique.t) -> t.name)
+      (Lpp_harness.Technique.state_of_the_art ~seed:1 ds)
+  in
+  Alcotest.(check (list string)) "lineup"
+    [ "CSets"; "Neo4j"; "A-LHD"; "WJ-1"; "WJ-100"; "WJ-R"; "SumRDF" ]
+    names
+
+let test_our_configurations_cover_paper () =
+  let ds = Lazy.force ds in
+  let names =
+    List.map
+      (fun (t : Lpp_harness.Technique.t) -> t.name)
+      (Lpp_harness.Technique.our_configurations ds)
+  in
+  List.iter
+    (fun expect ->
+      Alcotest.(check bool) expect true (List.mem expect names))
+    [ "S-L"; "A-L"; "A-LH"; "A-LD"; "A-LHD"; "A-LHD-10%"; "Neo4j" ]
+
+let test_all_techniques_positive_on_supported () =
+  let ds = Lazy.force ds in
+  let p = simple_pattern () in
+  List.iter
+    (fun (t : Lpp_harness.Technique.t) ->
+      if t.supports p then begin
+        let est = t.estimate p in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s positive finite (%f)" t.name est)
+          true
+          (Float.is_finite est && est > 0.0)
+      end)
+    (Lpp_harness.Technique.state_of_the_art ~seed:3 ds
+    @ Lpp_harness.Technique.our_configurations ds)
+
+let test_memory_reported () =
+  let ds = Lazy.force ds in
+  List.iter
+    (fun (t : Lpp_harness.Technique.t) ->
+      Alcotest.(check bool) (t.name ^ " memory ≥ 0") true (t.memory_bytes >= 0))
+    (Lpp_harness.Technique.state_of_the_art ~seed:4 ds)
+
+let test_wj_deterministic_given_seed () =
+  let ds = Lazy.force Fixtures.small_snb in
+  let p =
+    Pattern.of_spec ds.graph
+      [ Pattern.node_spec ~labels:[ "Person" ] (); Pattern.node_spec () ]
+      [ Pattern.rel_spec ~types:[ "KNOWS" ] ~src:0 ~dst:1 () ]
+  in
+  let est seed =
+    let t = Lpp_harness.Technique.wander_join ~seed WJ_100 ds in
+    t.estimate p
+  in
+  Alcotest.(check (float 0.0)) "same seed same estimate" (est 7) (est 7)
+
+let test_summary_of_counts () =
+  (* sanity of the full loop: measurements → q-errors → summary *)
+  let ds = Lazy.force ds in
+  let p = simple_pattern () in
+  let queries =
+    [ { Lpp_workload.Query_gen.id = 0; pattern = p;
+        shape = Shape.classify p; size = Pattern.size p; true_card = 4 } ]
+  in
+  let tech = Lpp_harness.Technique.ours Lpp_core.Config.a_lhd ds.catalog in
+  let ms = Lpp_harness.Runner.run ~measure_time:false tech queries in
+  match Lpp_util.Quantiles.summarize (Lpp_harness.Runner.q_errors ms) with
+  | None -> Alcotest.fail "expected summary"
+  | Some s ->
+      Alcotest.(check int) "one measurement" 1 s.count;
+      Alcotest.(check bool) "exact on campus" true (s.median < 1.05)
+
+let suite =
+  [
+    Alcotest.test_case "harness: lineup names" `Quick test_technique_names;
+    Alcotest.test_case "harness: paper configs" `Quick test_our_configurations_cover_paper;
+    Alcotest.test_case "harness: positive estimates" `Quick
+      test_all_techniques_positive_on_supported;
+    Alcotest.test_case "harness: memory reported" `Quick test_memory_reported;
+    Alcotest.test_case "harness: WJ determinism" `Quick test_wj_deterministic_given_seed;
+    Alcotest.test_case "harness: summary loop" `Quick test_summary_of_counts;
+  ]

@@ -1,0 +1,237 @@
+(* Cross-cutting invariants, mostly property-based: estimator monotonicity,
+   matcher semantics ordering, planner determinism, reference/matcher
+   agreement on random graphs. *)
+
+open Lpp_pattern
+
+let raw_node ?(labels = [||]) () = { Pattern.n_labels = labels; n_props = [||] }
+
+let raw_rel ?(types = [||]) ?(directed = true) src dst =
+  { Pattern.r_src = src; r_dst = dst; r_types = types; r_directed = directed;
+    r_props = [||]; r_hops = None }
+
+(* random small graph + random connected pattern over its vocabulary *)
+let random_graph rng =
+  let open Lpp_util in
+  let b = Lpp_pgraph.Graph_builder.create () in
+  let n = Rng.int_in rng 3 12 in
+  let labels = [| "A"; "B"; "C" |] in
+  let types = [| "s"; "t" |] in
+  let nodes =
+    Array.init n (fun _ ->
+        let ls =
+          List.filter (fun _ -> Rng.coin rng 0.5) (Array.to_list labels)
+        in
+        Lpp_pgraph.Graph_builder.add_node b ~labels:ls ~props:[])
+  in
+  let m = Rng.int_in rng 2 (3 * n) in
+  for _ = 1 to m do
+    let s = nodes.(Rng.int rng n) and d = nodes.(Rng.int rng n) in
+    if s <> d then
+      ignore
+        (Lpp_pgraph.Graph_builder.add_rel b ~src:s ~dst:d
+           ~rel_type:(Rng.pick rng types) ~props:[])
+  done;
+  Lpp_pgraph.Graph_builder.freeze b
+
+let random_pattern rng (g : Lpp_pgraph.Graph.t) =
+  let open Lpp_util in
+  let n = Rng.int_in rng 1 4 in
+  let nodes =
+    Array.init n (fun _ ->
+        if Rng.coin rng 0.4 && Lpp_pgraph.Graph.label_count g > 0 then
+          raw_node ~labels:[| Rng.int rng (Lpp_pgraph.Graph.label_count g) |] ()
+        else raw_node ())
+  in
+  let rels = ref [] in
+  for i = 1 to n - 1 do
+    let j = Rng.int rng i in
+    let types =
+      if Rng.coin rng 0.5 && Lpp_pgraph.Graph.rel_type_count g > 0 then
+        [| Rng.int rng (Lpp_pgraph.Graph.rel_type_count g) |]
+      else [||]
+    in
+    rels := raw_rel ~types ~directed:(Rng.coin rng 0.7) i j :: !rels
+  done;
+  if n >= 2 && Rng.coin rng 0.3 then
+    rels := raw_rel (Rng.int rng n) (Rng.int rng n) :: !rels;
+  (* self-loops are possible from the cycle edge above; Pattern allows them *)
+  Pattern.make ~nodes ~rels:(Array.of_list !rels)
+
+let test_matcher_vs_reference_random_graphs () =
+  let rng = Lpp_util.Rng.create 31337 in
+  let checked = ref 0 in
+  for _ = 1 to 120 do
+    let g = random_graph rng in
+    match random_pattern rng g with
+    | exception Invalid_argument _ -> ()
+    | p ->
+        let alg = Planner.plan p in
+        (match
+           ( Lpp_exec.Matcher.count ~budget:2_000_000 g p,
+             Lpp_exec.Reference.count ~max_intermediate:100_000 g alg )
+         with
+        | Lpp_exec.Matcher.Count c, Some r ->
+            incr checked;
+            Alcotest.(check int)
+              (Format.asprintf "matcher=reference on %a" (Pattern.pp ~names:None) p)
+              c r
+        | _ -> ())
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "checked %d cases" !checked)
+    true (!checked > 80)
+
+let test_hom_geq_cypher () =
+  let rng = Lpp_util.Rng.create 2718 in
+  for _ = 1 to 80 do
+    let g = random_graph rng in
+    match random_pattern rng g with
+    | exception Invalid_argument _ -> ()
+    | p -> begin
+        match
+          ( Lpp_exec.Matcher.count ~semantics:Lpp_exec.Semantics.Cypher
+              ~budget:2_000_000 g p,
+            Lpp_exec.Matcher.count ~semantics:Lpp_exec.Semantics.Homomorphism
+              ~budget:2_000_000 g p )
+        with
+        | Lpp_exec.Matcher.Count cy, Lpp_exec.Matcher.Count hom ->
+            Alcotest.(check bool) "hom >= cypher" true (hom >= cy)
+        | _ -> ()
+      end
+  done
+
+(* Label/property selections and MergeOn can only shrink the estimate;
+   GetNodes and Expand multiply by non-negative factors. *)
+let test_estimator_trace_monotonicity () =
+  let ds = Lazy.force Fixtures.small_snb in
+  let rng = Lpp_util.Rng.create 1234 in
+  for _ = 1 to 150 do
+    match random_pattern rng ds.graph with
+    | exception Invalid_argument _ -> ()
+    | p ->
+        List.iter
+          (fun config ->
+            let alg = Planner.plan p in
+            let prev = ref nan in
+            List.iter
+              (fun ((op : Algebra.op), card) ->
+                Alcotest.(check bool) "finite, non-negative" true
+                  (Float.is_finite card && card >= 0.0);
+                (match op with
+                | Label_selection _ | Prop_selection _ | Merge_on _ ->
+                    if Float.is_finite !prev then
+                      Alcotest.(check bool) "selection shrinks" true
+                        (card <= !prev +. 1e-9)
+                | Get_nodes _ | Expand _ -> ());
+                prev := card)
+              (Lpp_core.Estimator.trace config ds.catalog alg))
+          [ Lpp_core.Config.s_l; Lpp_core.Config.a_lhd ]
+  done
+
+let test_estimator_deterministic () =
+  let ds = Lazy.force Fixtures.small_snb in
+  let rng = Lpp_util.Rng.create 888 in
+  for _ = 1 to 40 do
+    match random_pattern rng ds.graph with
+    | exception Invalid_argument _ -> ()
+    | p ->
+        let a = Lpp_core.Estimator.estimate_pattern Lpp_core.Config.a_lhd ds.catalog p in
+        let b = Lpp_core.Estimator.estimate_pattern Lpp_core.Config.a_lhd ds.catalog p in
+        Alcotest.(check (float 0.0)) "same estimate" a b
+  done
+
+let test_planner_deterministic () =
+  let ds = Lazy.force Fixtures.small_snb in
+  let rng = Lpp_util.Rng.create 999 in
+  for _ = 1 to 40 do
+    match random_pattern rng ds.graph with
+    | exception Invalid_argument _ -> ()
+    | p ->
+        let a = Planner.plan p and b = Planner.plan p in
+        Alcotest.(check int) "same length" (Algebra.op_count a) (Algebra.op_count b)
+  done
+
+(* A single-relationship estimate equals the relevant RC count exactly for
+   every configuration (sanity anchoring of Expand against the catalog). *)
+let test_single_rel_anchoring () =
+  let ds = Lazy.force Fixtures.small_snb in
+  let g = ds.graph in
+  let typ name =
+    Option.get (Lpp_pgraph.Interner.find_opt (Lpp_pgraph.Graph.rel_types g) name)
+  in
+  List.iter
+    (fun type_name ->
+      let ty = typ type_name in
+      let p =
+        Pattern.make
+          ~nodes:[| raw_node (); raw_node () |]
+          ~rels:[| raw_rel ~types:[| ty |] 0 1 |]
+      in
+      let truth =
+        float_of_int
+          (Lpp_stats.Catalog.rc ds.catalog ~dir:Lpp_pgraph.Direction.Out
+             ~node:None ~types:[| ty |] ~other:None)
+      in
+      (* With both D_L (disjoint clusters) and H_L (sublabels not counted
+         twice inside a cluster) the representative-label decomposition of
+         the unselected source variable is exact. Dropping either one lets
+         overlap/hierarchy pollution skew it — the "optional statistics
+         improve accuracy" effect of Section 6.1. *)
+      List.iter
+        (fun config ->
+          let est = Lpp_core.Estimator.estimate_pattern config ds.catalog p in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s exact on (v)-[%s]->(w): %.1f vs %.1f"
+               (Lpp_core.Config.name config) type_name est truth)
+            true
+            (Float.abs (est -. truth) /. Float.max truth 1.0 < 0.02))
+        [ Lpp_core.Config.a_lhd ];
+      List.iter
+        (fun config ->
+          let est = Lpp_core.Estimator.estimate_pattern config ds.catalog p in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s sane on (v)-[%s]->(w): %.1f vs %.1f"
+               (Lpp_core.Config.name config) type_name est truth)
+            true
+            (est > 0.0 && Lpp_harness.Qerror.q_error ~truth ~estimate:est < 20.0))
+        Lpp_core.Config.all)
+    [ "KNOWS"; "LIKES"; "HAS_CREATOR" ]
+
+(* Value hash agrees with equality *)
+let prop_value_hash =
+  let value_gen =
+    QCheck.Gen.(
+      oneof
+        [ map (fun i -> Lpp_pgraph.Value.Int i) (int_range (-20) 20);
+          map (fun s -> Lpp_pgraph.Value.Str s) (string_size (0 -- 3)) ])
+  in
+  QCheck.Test.make ~name:"Value.hash consistent with equal" ~count:300
+    (QCheck.make QCheck.Gen.(pair value_gen value_gen))
+    (fun (a, b) ->
+      (not (Lpp_pgraph.Value.equal a b))
+      || Lpp_pgraph.Value.hash a = Lpp_pgraph.Value.hash b)
+
+(* report formatting *)
+let test_report_cells () =
+  Alcotest.(check string) "empty" "-" (Lpp_harness.Report.qerr_cell []);
+  let cell = Lpp_harness.Report.qerr_cell [ 1.0; 2.0; 3.0 ] in
+  Alcotest.(check bool) "median rendered" true (Str_contains.contains cell "2");
+  Alcotest.(check string) "us" "1.50 us" (Lpp_harness.Report.ns_to_string 1500.0);
+  Alcotest.(check string) "ms" "2.50 ms" (Lpp_harness.Report.ns_to_string 2.5e6);
+  Alcotest.(check string) "s" "1.20 s" (Lpp_harness.Report.ns_to_string 1.2e9)
+
+let suite =
+  [
+    Alcotest.test_case "matcher ≡ reference (random graphs)" `Quick
+      test_matcher_vs_reference_random_graphs;
+    Alcotest.test_case "hom ≥ cypher" `Quick test_hom_geq_cypher;
+    Alcotest.test_case "estimator: trace monotone" `Quick
+      test_estimator_trace_monotonicity;
+    Alcotest.test_case "estimator: deterministic" `Quick test_estimator_deterministic;
+    Alcotest.test_case "planner: deterministic" `Quick test_planner_deterministic;
+    Alcotest.test_case "estimator: single-rel anchoring" `Quick
+      test_single_rel_anchoring;
+    QCheck_alcotest.to_alcotest prop_value_hash;
+    Alcotest.test_case "report: cells" `Quick test_report_cells;
+  ]

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "lpp"
+    [
+      ("util", Test_util.suite);
+      ("pgraph", Test_pgraph.suite);
+      ("pattern", Test_pattern.suite);
+      ("planner", Test_planner.suite);
+      ("matcher", Test_matcher.suite);
+      ("stats", Test_stats.suite);
+      ("estimator", Test_estimator.suite);
+      ("baselines", Test_baselines.suite);
+      ("datasets", Test_datasets.suite);
+      ("workload", Test_workload.suite);
+      ("invariants", Test_invariants.suite);
+      ("varlen", Test_varlen.suite);
+      ("parse", Test_parse.suite);
+      ("triangles", Test_triangles.suite);
+      ("incremental", Test_incremental.suite);
+      ("harness", Test_harness.suite);
+      ("graph_io", Test_graph_io.suite);
+      ("formulas", Test_formulas.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,230 @@
+(* Tests for Lpp_exec.Matcher and Lpp_exec.Reference. *)
+
+open Lpp_pattern
+open Lpp_exec
+
+let raw_node ?(labels = [||]) ?(props = [||]) () =
+  { Pattern.n_labels = labels; n_props = props }
+
+let raw_rel ?(types = [||]) ?(directed = true) ?(props = [||]) src dst =
+  { Pattern.r_src = src; r_dst = dst; r_types = types; r_directed = directed;
+    r_props = props; r_hops = None }
+
+let count ?semantics ?budget g p =
+  match Matcher.count ?semantics ?budget g p with
+  | Matcher.Count c -> c
+  | Budget_exceeded -> Alcotest.fail "unexpected budget exhaustion"
+
+let label g name =
+  Option.get (Lpp_pgraph.Interner.find_opt (Lpp_pgraph.Graph.labels g) name)
+
+let key g name =
+  Option.get (Lpp_pgraph.Interner.find_opt (Lpp_pgraph.Graph.prop_keys g) name)
+
+let typ g name =
+  Option.get (Lpp_pgraph.Interner.find_opt (Lpp_pgraph.Graph.rel_types g) name)
+
+let test_single_node_counts () =
+  let f = Fixtures.campus () in
+  let g = f.graph in
+  let all = Pattern.make ~nodes:[| raw_node () |] ~rels:[||] in
+  Alcotest.(check int) "all nodes" 6 (count g all);
+  let students =
+    Pattern.make ~nodes:[| raw_node ~labels:[| label g "Student" |] () |] ~rels:[||]
+  in
+  Alcotest.(check int) "students C,E,F" 3 (count g students);
+  let multi =
+    Pattern.make
+      ~nodes:[| raw_node ~labels:[| label g "Student"; label g "Tutor" |] () |]
+      ~rels:[||]
+  in
+  Alcotest.(check int) "student+tutor is only C" 1 (count g multi)
+
+let test_property_predicates () =
+  let f = Fixtures.campus () in
+  let g = f.graph in
+  let with_semester =
+    Pattern.make
+      ~nodes:[| raw_node ~props:[| (key g "semester", Pattern.Exists) |] () |]
+      ~rels:[||]
+  in
+  Alcotest.(check int) "only F has semester" 1 (count g with_semester);
+  let eq_ok =
+    Pattern.make
+      ~nodes:
+        [| raw_node ~props:[| (key g "semester", Pattern.Eq (Lpp_pgraph.Value.Int 3)) |] () |]
+      ~rels:[||]
+  in
+  Alcotest.(check int) "semester = 3" 1 (count g eq_ok);
+  let eq_wrong =
+    Pattern.make
+      ~nodes:
+        [| raw_node ~props:[| (key g "semester", Pattern.Eq (Lpp_pgraph.Value.Int 4)) |] () |]
+      ~rels:[||]
+  in
+  Alcotest.(check int) "semester = 4 matches nothing" 0 (count g eq_wrong)
+
+let test_directed_edges () =
+  let f = Fixtures.campus () in
+  let g = f.graph in
+  let attends =
+    Pattern.make
+      ~nodes:[| raw_node (); raw_node () |]
+      ~rels:[| raw_rel ~types:[| typ g "attends" |] 0 1 |]
+  in
+  Alcotest.(check int) "4 attends rels" 4 (count g attends);
+  let attends_rev =
+    Pattern.make
+      ~nodes:[| raw_node ~labels:[| label g "Course" |] (); raw_node () |]
+      ~rels:[| raw_rel ~types:[| typ g "attends" |] 0 1 |]
+  in
+  Alcotest.(check int) "no attends out of courses" 0 (count g attends_rev)
+
+let test_undirected_edges () =
+  let f = Fixtures.campus () in
+  let g = f.graph in
+  let likes_undirected =
+    Pattern.make
+      ~nodes:[| raw_node (); raw_node () |]
+      ~rels:[| raw_rel ~types:[| typ g "likes" |] ~directed:false 0 1 |]
+  in
+  (* 2 likes rels × 2 orientations *)
+  Alcotest.(check int) "undirected doubles" 4 (count g likes_undirected)
+
+let test_untyped_edges () =
+  let f = Fixtures.campus () in
+  let g = f.graph in
+  let any_edge =
+    Pattern.make ~nodes:[| raw_node (); raw_node () |] ~rels:[| raw_rel 0 1 |]
+  in
+  Alcotest.(check int) "all 9 rels" 9 (count g any_edge)
+
+let test_chain_two_hops () =
+  let f = Fixtures.campus () in
+  let g = f.graph in
+  (* Student -attends-> Course <-teaches- Teacher: E/A/B? B teaches A and D.
+     attends into A: C,E; into D: E,F. So pairs: (C,A,B),(E,A,B),(E,D,B),(F,D,B) *)
+  let p =
+    Pattern.make
+      ~nodes:
+        [| raw_node ~labels:[| label g "Student" |] ();
+           raw_node ~labels:[| label g "Course" |] ();
+           raw_node ~labels:[| label g "Teacher" |] () |]
+      ~rels:
+        [| raw_rel ~types:[| typ g "attends" |] 0 1;
+           raw_rel ~types:[| typ g "teaches" |] 2 1 |]
+  in
+  Alcotest.(check int) "student-course-teacher" 4 (count g p)
+
+let test_cypher_vs_homomorphism () =
+  let g, _ = Fixtures.triangle () in
+  (* a 2-chain of e-rels: under homomorphism a->b->a counts too *)
+  let p =
+    Pattern.make
+      ~nodes:(Array.init 3 (fun _ -> raw_node ()))
+      ~rels:[| raw_rel ~types:[| typ g "e" |] 0 1;
+               raw_rel ~types:[| typ g "e" |] 1 2 |]
+  in
+  let cy = count ~semantics:Semantics.Cypher g p in
+  let hom = count ~semantics:Semantics.Homomorphism g p in
+  Alcotest.(check bool) "hom >= cypher" true (hom >= cy);
+  (* In the triangle + pendant graph: walks of length 2 following directions:
+     t0->t1->t2, t1->t2->t0, t2->t0->t1, t1->t2->p — all use distinct rels,
+     so both semantics agree here. *)
+  Alcotest.(check int) "cypher chains" 4 cy;
+  Alcotest.(check int) "hom chains" 4 hom
+
+let test_edge_isomorphism () =
+  (* single undirected rel matched as a 2-cycle pattern: homomorphism allows
+     reusing the rel in both directions is impossible (directions), use two
+     parallel opposite rels instead *)
+  let b = Lpp_pgraph.Graph_builder.create () in
+  let n0 = Lpp_pgraph.Graph_builder.add_node b ~labels:[] ~props:[] in
+  let n1 = Lpp_pgraph.Graph_builder.add_node b ~labels:[] ~props:[] in
+  ignore (Lpp_pgraph.Graph_builder.add_rel b ~src:n0 ~dst:n1 ~rel_type:"e" ~props:[]);
+  let g = Lpp_pgraph.Graph_builder.freeze b in
+  (* pattern: two undirected rels between v0 and v1 — needs two distinct rels
+     under Cypher, but only one exists *)
+  let p =
+    Pattern.make
+      ~nodes:[| raw_node (); raw_node () |]
+      ~rels:[| raw_rel ~directed:false 0 1; raw_rel ~directed:false 0 1 |]
+  in
+  Alcotest.(check int) "cypher: no reuse" 0 (count ~semantics:Semantics.Cypher g p);
+  Alcotest.(check bool) "homomorphism: reuse allowed" true
+    (count ~semantics:Semantics.Homomorphism g p > 0)
+
+let test_node_homomorphism_allowed () =
+  (* Cypher allows two pattern nodes to bind the same graph node *)
+  let b = Lpp_pgraph.Graph_builder.create () in
+  let n0 = Lpp_pgraph.Graph_builder.add_node b ~labels:[] ~props:[] in
+  let n1 = Lpp_pgraph.Graph_builder.add_node b ~labels:[] ~props:[] in
+  ignore (Lpp_pgraph.Graph_builder.add_rel b ~src:n0 ~dst:n1 ~rel_type:"a" ~props:[]);
+  ignore (Lpp_pgraph.Graph_builder.add_rel b ~src:n1 ~dst:n0 ~rel_type:"a" ~props:[]);
+  let g = Lpp_pgraph.Graph_builder.freeze b in
+  (* chain v0 -> v1 -> v2: n0->n1->n0 binds v0 and v2 to n0 *)
+  let p =
+    Pattern.make
+      ~nodes:(Array.init 3 (fun _ -> raw_node ()))
+      ~rels:[| raw_rel 0 1; raw_rel 1 2 |]
+  in
+  Alcotest.(check int) "node reuse fine under cypher" 2 (count g p)
+
+let test_budget () =
+  let ds = Lazy.force Fixtures.small_snb in
+  let p =
+    Pattern.make
+      ~nodes:(Array.init 5 (fun _ -> raw_node ()))
+      ~rels:[| raw_rel ~directed:false 0 1; raw_rel ~directed:false 1 2;
+               raw_rel ~directed:false 2 3; raw_rel ~directed:false 3 4 |]
+  in
+  (match Matcher.count ~budget:1000 ds.graph p with
+  | Matcher.Budget_exceeded -> ()
+  | Count c -> Alcotest.failf "expected budget exhaustion, got %d" c)
+
+let test_enumerate () =
+  let f = Fixtures.campus () in
+  let g = f.graph in
+  let p =
+    Pattern.make
+      ~nodes:[| raw_node ~labels:[| label g "Student" |] () |]
+      ~rels:[||]
+  in
+  let bindings = Matcher.enumerate g p in
+  Alcotest.(check int) "3 bindings" 3 (List.length bindings);
+  List.iter
+    (fun (b : Matcher.binding) ->
+      Alcotest.(check int) "one node var" 1 (Array.length b.nodes);
+      Alcotest.(check bool) "bound to a student" true
+        (Lpp_pgraph.Graph.node_has_label g b.nodes.(0) (label g "Student")))
+    bindings;
+  let limited = Matcher.enumerate ~limit:2 g p in
+  Alcotest.(check int) "limit respected" 2 (List.length limited)
+
+let test_reference_max_intermediate () =
+  let ds = Lazy.force Fixtures.small_snb in
+  let p =
+    Pattern.make
+      ~nodes:[| raw_node (); raw_node () |]
+      ~rels:[| raw_rel ~directed:false 0 1 |]
+  in
+  let alg = Planner.plan p in
+  Alcotest.(check bool) "refuses huge intermediates" true
+    (Reference.count ~max_intermediate:100 ds.graph alg = None)
+
+let suite =
+  [
+    Alcotest.test_case "matcher: single node" `Quick test_single_node_counts;
+    Alcotest.test_case "matcher: properties" `Quick test_property_predicates;
+    Alcotest.test_case "matcher: directed" `Quick test_directed_edges;
+    Alcotest.test_case "matcher: undirected" `Quick test_undirected_edges;
+    Alcotest.test_case "matcher: untyped" `Quick test_untyped_edges;
+    Alcotest.test_case "matcher: 2-hop chain" `Quick test_chain_two_hops;
+    Alcotest.test_case "matcher: cypher vs hom" `Quick test_cypher_vs_homomorphism;
+    Alcotest.test_case "matcher: edge isomorphism" `Quick test_edge_isomorphism;
+    Alcotest.test_case "matcher: node homomorphism" `Quick
+      test_node_homomorphism_allowed;
+    Alcotest.test_case "matcher: budget" `Quick test_budget;
+    Alcotest.test_case "matcher: enumerate" `Quick test_enumerate;
+    Alcotest.test_case "reference: size guard" `Quick test_reference_max_intermediate;
+  ]

@@ -1,0 +1,139 @@
+(* Tests for the openCypher-style pattern parser. *)
+
+open Lpp_pattern
+
+let graph = lazy (Fixtures.campus ()).graph
+
+let parse_ok q =
+  match Parse.parse (Lazy.force graph) q with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "parse %S failed: %s" q msg
+
+let count q =
+  match Lpp_exec.Matcher.count (Lazy.force graph) (parse_ok q).pattern with
+  | Lpp_exec.Matcher.Count c -> c
+  | Budget_exceeded -> Alcotest.fail "budget"
+
+let test_single_node () =
+  let r = parse_ok "(p:Person)" in
+  Alcotest.(check int) "one node" 1 (Pattern.node_count r.pattern);
+  Alcotest.(check int) "one label" 1 (Pattern.label_total r.pattern);
+  Alcotest.(check (array (option string))) "var name" [| Some "p" |] r.var_names;
+  Alcotest.(check int) "4 persons" 4 (count "(p:Person)")
+
+let test_multi_label_and_anonymous () =
+  let r = parse_ok "(:Person:Student)" in
+  Alcotest.(check (array (option string))) "anonymous" [| None |] r.var_names;
+  Alcotest.(check int) "3 students (all persons)" 3 (count "(:Person:Student)")
+
+let test_directed_chain () =
+  Alcotest.(check int) "attends rels" 4
+    (count "(s:Student)-[:attends]->(c:Course)");
+  Alcotest.(check int) "reversed arrow" 4
+    (count "(c:Course)<-[:attends]-(s:Student)")
+
+let test_undirected_and_untyped () =
+  Alcotest.(check int) "all rels, both ways" 18 (count "(a)-[]-(b)");
+  Alcotest.(check int) "likes undirected" 4 (count "(a)-[:likes]-(b)")
+
+let test_type_alternatives () =
+  Alcotest.(check int) "teaches|attends" 6
+    (count "(p:Person)-[:teaches|attends]->(c)")
+
+let test_props () =
+  Alcotest.(check int) "eq string" 1 (count "(p {name: \"Emil\"})");
+  Alcotest.(check int) "eq int" 1 (count "(p {semester: 3})");
+  Alcotest.(check int) "exists" 1 (count "(p {semester})");
+  Alcotest.(check int) "single quotes" 1 (count "(p {name: 'Carol'})")
+
+let test_shared_variables_cycle () =
+  let r = parse_ok "(a)-[:likes]->(b)-[:likes]->(a)" in
+  Alcotest.(check int) "two nodes" 2 (Pattern.node_count r.pattern);
+  Alcotest.(check string) "cyclic" "circle"
+    (Shape.to_string (Shape.classify r.pattern));
+  (* E and C like each other: 2 ordered mutual pairs *)
+  Alcotest.(check int) "mutual likes" 2 (count "(a)-[:likes]->(b)-[:likes]->(a)")
+
+let test_comma_paths () =
+  (* star written as two paths sharing the centre *)
+  let q = "(c:Course)<-[:attends]-(s:Student), (c)<-[:teaches]-(t:Teacher)" in
+  let r = parse_ok q in
+  Alcotest.(check int) "three nodes" 3 (Pattern.node_count r.pattern);
+  Alcotest.(check int) "attended and taught" 4 (count q)
+
+let test_hops_syntax () =
+  let r = parse_ok "(a)-[:likes*1..2]->(b)" in
+  Alcotest.(check bool) "has var length" true (Pattern.has_var_length r.pattern);
+  let r2 = parse_ok "(a)-[:likes*2]->(b)" in
+  (match r2.pattern.rels.(0).r_hops with
+  | Some (2, 2) -> ()
+  | _ -> Alcotest.fail "expected *2 to mean exactly 2");
+  let r3 = parse_ok "(a)-[*]->(b)" in
+  (match r3.pattern.rels.(0).r_hops with
+  | Some (1, hi) -> Alcotest.(check int) "capped" Parse.max_unbounded_hops hi
+  | _ -> Alcotest.fail "expected open range");
+  let r4 = parse_ok "(a)-[:likes*2..]->(b)" in
+  match r4.pattern.rels.(0).r_hops with
+  | Some (2, hi) -> Alcotest.(check int) "capped upper" Parse.max_unbounded_hops hi
+  | _ -> Alcotest.fail "expected 2..cap"
+
+let test_match_keyword_and_whitespace () =
+  Alcotest.(check int) "MATCH prefix"
+    (count "(s:Student)-[:attends]->(c:Course)")
+    (count "MATCH  ( s:Student ) - [ :attends ] -> ( c:Course )")
+
+let test_rel_identifier_ignored () =
+  Alcotest.(check int) "named rel" 4 (count "(s:Student)-[r:attends]->(c:Course)")
+
+let test_errors () =
+  let expect_error q =
+    match Parse.parse (Lazy.force graph) q with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected %S to fail" q
+  in
+  expect_error "";
+  expect_error "(a";
+  expect_error "(a)-[:x(b)";
+  expect_error "(a)->(b)";
+  expect_error "(a {k:})";
+  expect_error "(a) trailing";
+  expect_error "(a)-[:x]->(a:Label)" (* redeclared variable *);
+  expect_error "(a)-[:x*0..2]->(b)" (* invalid hop range *);
+  expect_error "(a), (b)" (* disconnected *)
+
+let test_roundtrip_with_estimator () =
+  let ds = Lazy.force Fixtures.small_snb in
+  let q = "(p:Person)<-[:HAS_CREATOR]-(m:Post)-[:HAS_TAG]->(t:Tag)" in
+  match Parse.parse ds.graph q with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok { pattern; _ } ->
+      let est =
+        Lpp_core.Estimator.estimate_pattern Lpp_core.Config.a_lhd ds.catalog pattern
+      in
+      let truth =
+        match Lpp_exec.Matcher.count ds.graph pattern with
+        | Lpp_exec.Matcher.Count c -> float_of_int c
+        | Budget_exceeded -> Alcotest.fail "budget"
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "estimate %.1f close to truth %.1f" est truth)
+        true
+        (Lpp_harness.Qerror.q_error ~truth ~estimate:est < 3.0)
+
+let suite =
+  [
+    Alcotest.test_case "parse: single node" `Quick test_single_node;
+    Alcotest.test_case "parse: multi-label/anon" `Quick test_multi_label_and_anonymous;
+    Alcotest.test_case "parse: directed chain" `Quick test_directed_chain;
+    Alcotest.test_case "parse: undirected/untyped" `Quick test_undirected_and_untyped;
+    Alcotest.test_case "parse: type alternatives" `Quick test_type_alternatives;
+    Alcotest.test_case "parse: properties" `Quick test_props;
+    Alcotest.test_case "parse: shared vars/cycle" `Quick test_shared_variables_cycle;
+    Alcotest.test_case "parse: comma paths" `Quick test_comma_paths;
+    Alcotest.test_case "parse: hop syntax" `Quick test_hops_syntax;
+    Alcotest.test_case "parse: MATCH + whitespace" `Quick
+      test_match_keyword_and_whitespace;
+    Alcotest.test_case "parse: rel identifier" `Quick test_rel_identifier_ignored;
+    Alcotest.test_case "parse: errors" `Quick test_errors;
+    Alcotest.test_case "parse: estimator roundtrip" `Quick test_roundtrip_with_estimator;
+  ]

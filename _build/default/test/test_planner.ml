@@ -1,0 +1,174 @@
+(* Tests for Lpp_pattern.Planner: heuristic and random linearisations.
+
+   The central property: evaluating the planned operator sequence with the
+   exact Reference evaluator yields the same count as the backtracking
+   Matcher run directly on the pattern — i.e. plans faithfully represent
+   their patterns, including cycle closing via Expand + MergeOn. *)
+
+open Lpp_pattern
+
+let raw_node ?(labels = [||]) () = { Pattern.n_labels = labels; n_props = [||] }
+
+let raw_rel ?(types = [||]) ?(directed = true) src dst =
+  { Pattern.r_src = src; r_dst = dst; r_types = types; r_directed = directed;
+    r_props = [||]; r_hops = None }
+
+let matcher_count g p =
+  match Lpp_exec.Matcher.count g p with
+  | Lpp_exec.Matcher.Count c -> c
+  | Budget_exceeded -> Alcotest.fail "matcher budget exceeded in test"
+
+let reference_count g alg =
+  match Lpp_exec.Reference.count g alg with
+  | Some c -> c
+  | None -> Alcotest.fail "reference evaluator blew up in test"
+
+let test_plan_structure () =
+  let f = Fixtures.campus () in
+  let p =
+    Pattern.of_spec f.graph
+      [ Pattern.node_spec ~labels:[ "Student" ] ();
+        Pattern.node_spec ~labels:[ "Course" ] () ]
+      [ Pattern.rel_spec ~types:[ "attends" ] ~src:0 ~dst:1 () ]
+  in
+  let alg = Planner.plan p in
+  Alcotest.(check bool) "validates" true (Result.is_ok (Algebra.validate alg));
+  (match alg.ops.(0) with
+  | Algebra.Get_nodes _ -> ()
+  | _ -> Alcotest.fail "must start with GetNodes");
+  Alcotest.(check int) "rel vars = pattern rels" 1 alg.rel_vars
+
+let test_plan_starts_at_max_degree () =
+  (* star with centre 2 *)
+  let p =
+    Pattern.make
+      ~nodes:(Array.init 4 (fun _ -> raw_node ()))
+      ~rels:[| raw_rel 2 0; raw_rel 2 1; raw_rel 2 3 |]
+  in
+  let alg = Planner.plan p in
+  match alg.ops.(0) with
+  | Algebra.Get_nodes { var } -> Alcotest.(check int) "starts at centre" 2 var
+  | _ -> Alcotest.fail "must start with GetNodes"
+
+let test_plan_cycle_uses_merge () =
+  let p =
+    Pattern.make
+      ~nodes:(Array.init 3 (fun _ -> raw_node ()))
+      ~rels:[| raw_rel 0 1; raw_rel 1 2; raw_rel 2 0 |]
+  in
+  let alg = Planner.plan p in
+  let merges =
+    Array.to_list alg.ops
+    |> List.filter (function Algebra.Merge_on _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "one merge for one cycle" 1 (List.length merges);
+  Alcotest.(check int) "one fresh variable" 4 alg.node_vars
+
+let test_plan_selections_early () =
+  (* label selections must directly follow the introduction of their var *)
+  let f = Fixtures.campus () in
+  let p =
+    Pattern.of_spec f.graph
+      [ Pattern.node_spec ~labels:[ "Person" ] ();
+        Pattern.node_spec ~labels:[ "Course" ] () ]
+      [ Pattern.rel_spec ~types:[ "attends" ] ~src:0 ~dst:1 () ]
+  in
+  let alg = Planner.plan p in
+  let ops = Array.to_list alg.ops in
+  let rec check_after_intro seen = function
+    | [] -> ()
+    | Algebra.Label_selection { var; _ } :: rest ->
+        Alcotest.(check bool) "selection after introduction" true
+          (List.mem var seen);
+        check_after_intro seen rest
+    | Algebra.Get_nodes { var } :: rest -> check_after_intro (var :: seen) rest
+    | Algebra.Expand { dst_var; _ } :: rest ->
+        check_after_intro (dst_var :: seen) rest
+    | _ :: rest -> check_after_intro seen rest
+  in
+  check_after_intro [] ops
+
+(* Random connected pattern generator over the campus vocabulary. *)
+let random_pattern rng (g : Lpp_pgraph.Graph.t) =
+  let open Lpp_util in
+  let n = Rng.int_in rng 1 4 in
+  let nodes =
+    Array.init n (fun _ ->
+        let labels =
+          if Rng.coin rng 0.5 then
+            [| Rng.int rng (Lpp_pgraph.Graph.label_count g) |]
+          else [||]
+        in
+        raw_node ~labels ())
+  in
+  let rels = ref [] in
+  (* spanning tree first, then a few extra edges *)
+  for i = 1 to n - 1 do
+    let j = Rng.int rng i in
+    let types =
+      if Rng.coin rng 0.6 then
+        [| Rng.int rng (Lpp_pgraph.Graph.rel_type_count g) |]
+      else [||]
+    in
+    let directed = Rng.coin rng 0.7 in
+    rels :=
+      (if Rng.bool rng then raw_rel ~types ~directed i j
+       else raw_rel ~types ~directed j i)
+      :: !rels
+  done;
+  if n >= 2 && Rng.coin rng 0.4 then begin
+    let a = Rng.int rng n and b = Rng.int rng n in
+    if a <> b then rels := raw_rel a b :: !rels
+  end;
+  Pattern.make ~nodes ~rels:(Array.of_list !rels)
+
+let test_plan_matches_matcher_on_random_patterns () =
+  let f = Fixtures.campus () in
+  let rng = Lpp_util.Rng.create 77 in
+  for _ = 1 to 200 do
+    let p = random_pattern rng f.graph in
+    let alg = Planner.plan p in
+    Alcotest.(check bool) "plan validates" true (Result.is_ok (Algebra.validate alg));
+    Alcotest.(check int)
+      (Format.asprintf "plan ≡ pattern for %a" (Pattern.pp ~names:None) p)
+      (matcher_count f.graph p)
+      (reference_count f.graph alg)
+  done
+
+let test_random_order_matches_matcher () =
+  let f = Fixtures.campus () in
+  let rng = Lpp_util.Rng.create 99 in
+  for _ = 1 to 100 do
+    let p = random_pattern rng f.graph in
+    let alg = Planner.random_order rng p in
+    Alcotest.(check bool) "random order validates" true
+      (Result.is_ok (Algebra.validate alg));
+    Alcotest.(check int) "random order ≡ pattern"
+      (matcher_count f.graph p)
+      (reference_count f.graph alg)
+  done
+
+let test_plans_on_triangle_graph () =
+  let g, _ = Fixtures.triangle () in
+  let p =
+    Pattern.make
+      ~nodes:(Array.init 3 (fun _ -> raw_node ()))
+      ~rels:[| raw_rel 0 1; raw_rel 1 2; raw_rel 2 0 |]
+  in
+  (* the directed triangle appears 3 times (one per rotation) *)
+  Alcotest.(check int) "matcher triangle count" 3 (matcher_count g p);
+  Alcotest.(check int) "reference triangle count" 3
+    (reference_count g (Planner.plan p))
+
+let suite =
+  [
+    Alcotest.test_case "plan: structure" `Quick test_plan_structure;
+    Alcotest.test_case "plan: max-degree start" `Quick test_plan_starts_at_max_degree;
+    Alcotest.test_case "plan: cycle via merge" `Quick test_plan_cycle_uses_merge;
+    Alcotest.test_case "plan: selections early" `Quick test_plan_selections_early;
+    Alcotest.test_case "plan: ≡ matcher (200 random)" `Quick
+      test_plan_matches_matcher_on_random_patterns;
+    Alcotest.test_case "random order: ≡ matcher (100 random)" `Quick
+      test_random_order_matches_matcher;
+    Alcotest.test_case "plan: triangle" `Quick test_plans_on_triangle_graph;
+  ]

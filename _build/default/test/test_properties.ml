@@ -1,0 +1,149 @@
+(* Additional property-based coverage: serialisation round-trips over random
+   graphs, shape-classification totality, planner/validator compatibility on
+   random patterns, and estimator scale behaviour. *)
+
+open Lpp_pattern
+
+let random_graph rng =
+  let open Lpp_util in
+  let b = Lpp_pgraph.Graph_builder.create () in
+  let n = Rng.int_in rng 1 15 in
+  let nodes =
+    Array.init n (fun i ->
+        let labels =
+          List.filteri (fun j _ -> (i + j) mod 3 <> 0 || Rng.bool rng)
+            [ "A"; "B"; "C" ]
+        in
+        let props =
+          if Rng.coin rng 0.4 then
+            [ ("k", Lpp_pgraph.Value.Int (Rng.int rng 5));
+              ("s", Lpp_pgraph.Value.Str (String.make (Rng.int rng 3) 'x')) ]
+          else []
+        in
+        Lpp_pgraph.Graph_builder.add_node b ~labels ~props)
+  in
+  let m = Rng.int rng (3 * n) in
+  for _ = 1 to m do
+    let s = nodes.(Rng.int rng n) and d = nodes.(Rng.int rng n) in
+    ignore
+      (Lpp_pgraph.Graph_builder.add_rel b ~src:s ~dst:d
+         ~rel_type:(if Rng.bool rng then "u" else "v")
+         ~props:(if Rng.coin rng 0.3 then [ ("w", Lpp_pgraph.Value.Float 0.5) ] else []))
+  done;
+  Lpp_pgraph.Graph_builder.freeze b
+
+let test_graph_io_roundtrip_random () =
+  let rng = Lpp_util.Rng.create 808 in
+  for _ = 1 to 40 do
+    let g = random_graph rng in
+    let path = Filename.temp_file "lpp_rand" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Lpp_pgraph.Graph_io.save g path;
+        match Lpp_pgraph.Graph_io.load path with
+        | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+        | Ok g' ->
+            Alcotest.(check int) "nodes" (Lpp_pgraph.Graph.node_count g)
+              (Lpp_pgraph.Graph.node_count g');
+            Alcotest.(check int) "rels" (Lpp_pgraph.Graph.rel_count g)
+              (Lpp_pgraph.Graph.rel_count g');
+            Alcotest.(check int) "props" (Lpp_pgraph.Graph.property_count g)
+              (Lpp_pgraph.Graph.property_count g');
+            (* ground truth of a fixed pattern is invariant under round-trip *)
+            let p =
+              Pattern.of_spec g
+                [ Pattern.node_spec ~labels:[ "A" ] (); Pattern.node_spec () ]
+                [ Pattern.rel_spec ~types:[ "u" ] ~src:0 ~dst:1 () ]
+            in
+            let count graph =
+              match Lpp_exec.Matcher.count graph p with
+              | Lpp_exec.Matcher.Count c -> c
+              | Budget_exceeded -> -1
+            in
+            Alcotest.(check int) "counts invariant" (count g) (count g'))
+  done
+
+let random_connected_pattern rng max_nodes =
+  let open Lpp_util in
+  let n = Rng.int_in rng 1 max_nodes in
+  let nodes =
+    Array.init n (fun _ ->
+        { Pattern.n_labels = (if Rng.bool rng then [| Rng.int rng 3 |] else [||]);
+          n_props = [||] })
+  in
+  let rels = ref [] in
+  for i = 1 to n - 1 do
+    rels :=
+      { Pattern.r_src = i; r_dst = Rng.int rng i; r_types = [||];
+        r_directed = Rng.bool rng; r_props = [||];
+        r_hops = (if Rng.coin rng 0.2 then Some (1, 2) else None) }
+      :: !rels
+  done;
+  if n >= 2 && Rng.coin rng 0.5 then
+    rels :=
+      { Pattern.r_src = Rng.int rng n; r_dst = Rng.int rng n; r_types = [||];
+        r_directed = true; r_props = [||]; r_hops = None }
+      :: !rels;
+  Pattern.make ~nodes ~rels:(Array.of_list !rels)
+
+let test_shape_total_and_consistent () =
+  let rng = Lpp_util.Rng.create 909 in
+  for _ = 1 to 300 do
+    match random_connected_pattern rng 7 with
+    | exception Invalid_argument _ -> ()
+    | p ->
+        let s = Shape.classify p in
+        Alcotest.(check bool) "coarse of shape is one of four" true
+          (List.mem (Shape.coarse s) [ "chain"; "star"; "tree"; "cyclic" ]);
+        let cycles = Pattern.rel_count p - Pattern.node_count p + 1 in
+        Alcotest.(check bool) "cyclic iff cyclomatic > 0" true
+          (Shape.coarse s = "cyclic" = (cycles > 0))
+  done
+
+let test_plans_always_validate () =
+  let rng = Lpp_util.Rng.create 1001 in
+  for _ = 1 to 300 do
+    match random_connected_pattern rng 7 with
+    | exception Invalid_argument _ -> ()
+    | p ->
+        (match Algebra.validate (Planner.plan p) with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "heuristic plan invalid: %s" msg);
+        (match Algebra.validate (Planner.random_order rng p) with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "random plan invalid: %s" msg)
+  done
+
+(* Doubling every extent doubles single-label estimates (scale equivariance
+   of GetNodes + LabelSelection). *)
+let test_estimator_scale_equivariance () =
+  let build copies =
+    let b = Lpp_pgraph.Graph_builder.create () in
+    for _ = 1 to copies do
+      let a = Lpp_pgraph.Graph_builder.add_node b ~labels:[ "A" ] ~props:[] in
+      let c = Lpp_pgraph.Graph_builder.add_node b ~labels:[ "B" ] ~props:[] in
+      ignore (Lpp_pgraph.Graph_builder.add_rel b ~src:a ~dst:c ~rel_type:"t" ~props:[])
+    done;
+    let g = Lpp_pgraph.Graph_builder.freeze b in
+    (g, Lpp_stats.Catalog.build g)
+  in
+  let g1, c1 = build 5 and g2, c2 = build 10 in
+  let est g c =
+    Lpp_core.Estimator.estimate_pattern Lpp_core.Config.a_lhd c
+      (Pattern.of_spec g
+         [ Pattern.node_spec ~labels:[ "A" ] (); Pattern.node_spec ~labels:[ "B" ] () ]
+         [ Pattern.rel_spec ~types:[ "t" ] ~src:0 ~dst:1 () ])
+  in
+  Alcotest.(check (float 1e-9)) "doubling the data doubles the estimate"
+    (2.0 *. est g1 c1) (est g2 c2)
+
+let suite =
+  [
+    Alcotest.test_case "prop: io roundtrip random graphs" `Quick
+      test_graph_io_roundtrip_random;
+    Alcotest.test_case "prop: shape totality" `Quick test_shape_total_and_consistent;
+    Alcotest.test_case "prop: plans validate" `Quick test_plans_always_validate;
+    Alcotest.test_case "prop: scale equivariance" `Quick
+      test_estimator_scale_equivariance;
+  ]

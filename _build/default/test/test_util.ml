@@ -1,0 +1,253 @@
+(* Tests for Lpp_util: Rng, Quantiles, Ascii_table, Mem_size. *)
+
+open Lpp_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------- Rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10)
+  done
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Rng.create 9 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    let v = Rng.int_in rng 3 6 in
+    Alcotest.(check bool) "in [3,6]" true (v >= 3 && v <= 6);
+    seen.(v - 3) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_coin_extremes () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=0 never true" false (Rng.coin rng 0.0)
+  done;
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=1 always true" true (Rng.coin rng 1.0)
+  done
+
+let test_rng_coin_rate () =
+  let rng = Rng.create 11 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.coin rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_sample_without_replacement () =
+  let rng = Rng.create 6 in
+  let arr = Array.init 30 Fun.id in
+  let s = Rng.sample_without_replacement rng 10 arr in
+  Alcotest.(check int) "10 elements" 10 (Array.length s);
+  let module IS = Set.Make (Int) in
+  Alcotest.(check int) "distinct" 10 (IS.cardinal (IS.of_list (Array.to_list s)));
+  let all = Rng.sample_without_replacement rng 100 arr in
+  Alcotest.(check int) "capped at n" 30 (Array.length all)
+
+let test_rng_zipf_bounds () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 2000 do
+    let v = Rng.zipf rng ~n:20 ~s:1.1 in
+    Alcotest.(check bool) "in [0,20)" true (v >= 0 && v < 20)
+  done
+
+let test_rng_zipf_skew () =
+  let rng = Rng.create 13 in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 20_000 do
+    let v = Rng.zipf rng ~n:50 ~s:1.0 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most frequent" true
+    (counts.(0) > counts.(5) && counts.(5) > counts.(30))
+
+let test_rng_zipf_single () =
+  let rng = Rng.create 1 in
+  Alcotest.(check int) "n=1 yields 0" 0 (Rng.zipf rng ~n:1 ~s:1.0)
+
+let test_rng_geometric () =
+  let rng = Rng.create 17 in
+  Alcotest.(check int) "p=1 is 0" 0 (Rng.geometric rng ~p:1.0);
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric rng ~p:0.5
+  done;
+  (* mean of failures-before-success at p=0.5 is 1 *)
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 1" true (Float.abs (mean -. 1.0) < 0.1)
+
+let test_rng_split_independent () =
+  let a = Rng.create 21 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split streams differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+(* ---------------- Quantiles ---------------- *)
+
+let test_quantile_basic () =
+  let sorted = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "median" 3.0 (Quantiles.quantile sorted 0.5);
+  check_float "min" 1.0 (Quantiles.quantile sorted 0.0);
+  check_float "max" 5.0 (Quantiles.quantile sorted 1.0);
+  check_float "q25 interpolated" 2.0 (Quantiles.quantile sorted 0.25)
+
+let test_quantile_interpolation () =
+  let sorted = [| 0.0; 10.0 |] in
+  check_float "interpolates" 5.0 (Quantiles.quantile sorted 0.5);
+  check_float "0.3 point" 3.0 (Quantiles.quantile sorted 0.3)
+
+let test_quantile_empty () =
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Quantiles.quantile: empty sample") (fun () ->
+      ignore (Quantiles.quantile [||] 0.5))
+
+let test_summarize () =
+  match Quantiles.summarize [ 4.0; 1.0; 3.0; 2.0 ] with
+  | None -> Alcotest.fail "expected summary"
+  | Some s ->
+      Alcotest.(check int) "count" 4 s.count;
+      check_float "min" 1.0 s.min;
+      check_float "max" 4.0 s.max;
+      check_float "median" 2.5 s.median;
+      check_float "mean" 2.5 s.mean
+
+let test_summarize_empty () =
+  Alcotest.(check bool) "empty is None" true (Quantiles.summarize [] = None)
+
+let test_summarize_geo_mean () =
+  match Quantiles.summarize [ 1.0; 100.0 ] with
+  | None -> Alcotest.fail "expected summary"
+  | Some s -> check_float "geometric mean" 10.0 s.geo_mean
+
+let test_summarize_does_not_mutate () =
+  let arr = [| 3.0; 1.0; 2.0 |] in
+  ignore (Quantiles.summarize_array arr);
+  Alcotest.(check (array (float 0.0))) "input untouched" [| 3.0; 1.0; 2.0 |] arr
+
+(* qcheck: quantile is monotone in p and bounded by min/max *)
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile monotone and bounded" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 30) (float_bound_exclusive 1000.0))
+              (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+    (fun (sample, (p1, p2)) ->
+      QCheck.assume (sample <> []);
+      let sorted = Array.of_list sample in
+      Array.sort Float.compare sorted;
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      let qlo = Quantiles.quantile sorted lo and qhi = Quantiles.quantile sorted hi in
+      qlo <= qhi && qlo >= sorted.(0) && qhi <= sorted.(Array.length sorted - 1))
+
+(* ---------------- Ascii_table ---------------- *)
+
+let test_table_render () =
+  let t = Ascii_table.create [ "a"; "bb" ] in
+  Ascii_table.add_row t [ "1"; "2" ];
+  Ascii_table.add_row t [ "333" ];
+  let s = Ascii_table.render t in
+  Alcotest.(check bool) "header present" true
+    (String.length s > 0
+    && (let lines = String.split_on_char '\n' s in
+        List.exists (fun l -> l = "| a   | bb |") lines));
+  Alcotest.(check bool) "padded row" true
+    (List.exists (fun l -> l = "| 333 |    |") (String.split_on_char '\n' s))
+
+let test_table_too_many_cells () =
+  let t = Ascii_table.create [ "a" ] in
+  Alcotest.check_raises "overflow"
+    (Invalid_argument "Ascii_table.add_row: too many cells") (fun () ->
+      Ascii_table.add_row t [ "1"; "2" ])
+
+let test_table_separator () =
+  let t = Ascii_table.create [ "x" ] in
+  Ascii_table.add_row t [ "1" ];
+  Ascii_table.add_separator t;
+  Ascii_table.add_row t [ "2" ];
+  let rules =
+    String.split_on_char '\n' (Ascii_table.render t)
+    |> List.filter (fun l -> String.length l > 0 && l.[0] = '+')
+  in
+  Alcotest.(check int) "four rules" 4 (List.length rules)
+
+(* ---------------- Mem_size ---------------- *)
+
+let test_mem_size_strings () =
+  Alcotest.(check bool) "string payload grows" true
+    (Mem_size.string_bytes "a longer string than this"
+    > Mem_size.string_bytes "ab");
+  Alcotest.(check int) "word-aligned" 0 (Mem_size.string_bytes "abc" mod 8)
+
+let test_mem_size_render () =
+  Alcotest.(check string) "bytes" "812 B" (Mem_size.to_string 812);
+  Alcotest.(check string) "kilobytes" "3.1 kB" (Mem_size.to_string 3174);
+  Alcotest.(check string) "megabytes" "1.4 MB" (Mem_size.to_string 1_468_006)
+
+let suite =
+  [
+    Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng: int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng: int invalid" `Quick test_rng_int_invalid;
+    Alcotest.test_case "rng: int_in" `Quick test_rng_int_in;
+    Alcotest.test_case "rng: float bounds" `Quick test_rng_float_bounds;
+    Alcotest.test_case "rng: coin extremes" `Quick test_rng_coin_extremes;
+    Alcotest.test_case "rng: coin rate" `Quick test_rng_coin_rate;
+    Alcotest.test_case "rng: shuffle permutation" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "rng: sample w/o replacement" `Quick
+      test_rng_sample_without_replacement;
+    Alcotest.test_case "rng: zipf bounds" `Quick test_rng_zipf_bounds;
+    Alcotest.test_case "rng: zipf skew" `Quick test_rng_zipf_skew;
+    Alcotest.test_case "rng: zipf n=1" `Quick test_rng_zipf_single;
+    Alcotest.test_case "rng: geometric" `Quick test_rng_geometric;
+    Alcotest.test_case "rng: split" `Quick test_rng_split_independent;
+    Alcotest.test_case "quantiles: basic" `Quick test_quantile_basic;
+    Alcotest.test_case "quantiles: interpolation" `Quick test_quantile_interpolation;
+    Alcotest.test_case "quantiles: empty" `Quick test_quantile_empty;
+    Alcotest.test_case "quantiles: summarize" `Quick test_summarize;
+    Alcotest.test_case "quantiles: summarize empty" `Quick test_summarize_empty;
+    Alcotest.test_case "quantiles: geo mean" `Quick test_summarize_geo_mean;
+    Alcotest.test_case "quantiles: no mutation" `Quick test_summarize_does_not_mutate;
+    QCheck_alcotest.to_alcotest prop_quantile_monotone;
+    Alcotest.test_case "table: render" `Quick test_table_render;
+    Alcotest.test_case "table: overflow" `Quick test_table_too_many_cells;
+    Alcotest.test_case "table: separator" `Quick test_table_separator;
+    Alcotest.test_case "mem: strings" `Quick test_mem_size_strings;
+    Alcotest.test_case "mem: render" `Quick test_mem_size_render;
+  ]

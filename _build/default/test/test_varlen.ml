@@ -1,0 +1,210 @@
+(* Tests for variable-length paths (the paper's future-work extension):
+   matcher semantics, reference agreement, estimator behaviour. *)
+
+open Lpp_pattern
+
+let raw_node ?(labels = [||]) () = { Pattern.n_labels = labels; n_props = [||] }
+
+let raw_rel ?(types = [||]) ?(directed = true) ?hops src dst =
+  { Pattern.r_src = src; r_dst = dst; r_types = types; r_directed = directed;
+    r_props = [||]; r_hops = hops }
+
+let count ?semantics g p =
+  match Lpp_exec.Matcher.count ?semantics g p with
+  | Lpp_exec.Matcher.Count c -> c
+  | Budget_exceeded -> Alcotest.fail "budget"
+
+(* a directed 5-ring: 0→1→2→3→4→0, all type "k", all label "N" *)
+let ring n =
+  let b = Lpp_pgraph.Graph_builder.create () in
+  let nodes =
+    Array.init n (fun _ -> Lpp_pgraph.Graph_builder.add_node b ~labels:[ "N" ] ~props:[])
+  in
+  for i = 0 to n - 1 do
+    ignore
+      (Lpp_pgraph.Graph_builder.add_rel b ~src:nodes.(i)
+         ~dst:nodes.((i + 1) mod n)
+         ~rel_type:"k" ~props:[])
+  done;
+  Lpp_pgraph.Graph_builder.freeze b
+
+let test_hop_range_validation () =
+  Alcotest.check_raises "lo=0 invalid" (Invalid_argument "Pattern.make: invalid hop range")
+    (fun () ->
+      ignore
+        (Pattern.make
+           ~nodes:[| raw_node (); raw_node () |]
+           ~rels:[| raw_rel ~hops:(0, 2) 0 1 |]));
+  Alcotest.check_raises "hi<lo invalid" (Invalid_argument "Pattern.make: invalid hop range")
+    (fun () ->
+      ignore
+        (Pattern.make
+           ~nodes:[| raw_node (); raw_node () |]
+           ~rels:[| raw_rel ~hops:(3, 2) 0 1 |]))
+
+let test_ring_path_counts () =
+  let g = ring 5 in
+  let pattern hops =
+    Pattern.make
+      ~nodes:[| raw_node (); raw_node () |]
+      ~rels:[| raw_rel ~hops 0 1 |]
+  in
+  (* every node has exactly one outgoing path of each length *)
+  Alcotest.(check int) "*1..1 = 5" 5 (count g (pattern (1, 1)));
+  Alcotest.(check int) "*1..3 = 15" 15 (count g (pattern (1, 3)));
+  Alcotest.(check int) "*2..4 = 15" 15 (count g (pattern (2, 4)));
+  (* length-5 paths wrap the full ring and end at the start node *)
+  Alcotest.(check int) "*5..5 = 5" 5 (count g (pattern (5, 5)));
+  (* length 6 would have to reuse a relationship: excluded under Cypher *)
+  Alcotest.(check int) "*6..6 = 0 (edge iso)" 0 (count g (pattern (6, 6)));
+  Alcotest.(check int) "*6..6 hom reuses rels" 5
+    (count ~semantics:Lpp_exec.Semantics.Homomorphism g (pattern (6, 6)))
+
+let test_hops_equal_unrolled_chain () =
+  (* on the campus graph: (v)-[*2..2]->(w) untyped equals the explicit 2-chain *)
+  let f = Fixtures.campus () in
+  let hops =
+    Pattern.make
+      ~nodes:[| raw_node (); raw_node () |]
+      ~rels:[| raw_rel ~hops:(2, 2) 0 1 |]
+  in
+  let chain =
+    Pattern.make
+      ~nodes:[| raw_node (); raw_node (); raw_node () |]
+      ~rels:[| raw_rel 0 1; raw_rel 1 2 |]
+  in
+  Alcotest.(check int) "*2..2 ≡ 2-chain" (count f.graph chain) (count f.graph hops)
+
+let test_hops_with_label_endpoint () =
+  let f = Fixtures.campus () in
+  let g = f.graph in
+  let person =
+    Option.get (Lpp_pgraph.Interner.find_opt (Lpp_pgraph.Graph.labels g) "Person")
+  in
+  let course =
+    Option.get (Lpp_pgraph.Interner.find_opt (Lpp_pgraph.Graph.labels g) "Course")
+  in
+  let p =
+    Pattern.make
+      ~nodes:[| raw_node ~labels:[| person |] (); raw_node ~labels:[| course |] () |]
+      ~rels:[| raw_rel ~hops:(1, 2) 0 1 |]
+  in
+  (* direct person→course rels: teaches B→A, B→D, attends C→A, E→A, E→D, F→D
+     (6). 2-hop person→·→course paths: C→B→A and C→B→D (assistantOf+teaches),
+     E→C→A (likes+attends), C→E→A and C→E→D (likes+attends). So 11 total. *)
+  Alcotest.(check int) "person -[*1..2]-> course" 11 (count g p)
+
+let test_reference_agrees_on_hops () =
+  let f = Fixtures.campus () in
+  let rng = Lpp_util.Rng.create 6021 in
+  for _ = 1 to 60 do
+    let n = Lpp_util.Rng.int_in rng 2 3 in
+    let nodes = Array.init n (fun _ -> raw_node ()) in
+    let rels = ref [] in
+    for i = 1 to n - 1 do
+      let j = Lpp_util.Rng.int rng i in
+      let hops =
+        if Lpp_util.Rng.coin rng 0.6 then
+          Some (Lpp_util.Rng.int_in rng 1 2, Lpp_util.Rng.int_in rng 2 3)
+        else None
+      in
+      let hops =
+        match hops with
+        | Some (lo, hi) when hi < lo -> Some (hi, lo)
+        | other -> other
+      in
+      rels :=
+        raw_rel ?hops ~directed:(Lpp_util.Rng.coin rng 0.7) i j :: !rels
+    done;
+    let p = Pattern.make ~nodes ~rels:(Array.of_list !rels) in
+    let alg = Lpp_pattern.Planner.plan p in
+    match
+      ( Lpp_exec.Matcher.count ~budget:2_000_000 f.graph p,
+        Lpp_exec.Reference.count ~max_intermediate:100_000 f.graph alg )
+    with
+    | Lpp_exec.Matcher.Count c, Some r ->
+        Alcotest.(check int)
+          (Format.asprintf "hops: matcher=reference on %a" (Pattern.pp ~names:None) p)
+          c r
+    | _ -> ()
+  done
+
+let test_estimator_exact_on_ring () =
+  let g = ring 7 in
+  let cat = Lpp_stats.Catalog.build g in
+  let pattern hops =
+    Pattern.make
+      ~nodes:[| raw_node (); raw_node () |]
+      ~rels:[| raw_rel ~hops 0 1 |]
+  in
+  List.iter
+    (fun ((lo, hi), expect) ->
+      let est =
+        Lpp_core.Estimator.estimate_pattern Lpp_core.Config.a_lhd cat
+          (pattern (lo, hi))
+      in
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "*%d..%d" lo hi)
+        expect est)
+    [ ((1, 1), 7.0); ((1, 3), 21.0); ((2, 2), 7.0); ((2, 4), 21.0) ]
+
+let test_estimator_hops_propagates_labels () =
+  (* bipartite L→R: a 2-hop path L→R→? has nowhere to go, so *2..2 ≈ 0 *)
+  let g = Fixtures.bipartite ~k_left:6 ~k_right:3 ~deg:2 in
+  let cat = Lpp_stats.Catalog.build g in
+  let p =
+    Pattern.make
+      ~nodes:
+        [| raw_node
+             ~labels:
+               [| Option.get
+                    (Lpp_pgraph.Interner.find_opt
+                       (Lpp_pgraph.Graph.labels g) "L") |]
+             ();
+           raw_node () |]
+      ~rels:[| raw_rel ~hops:(2, 2) 0 1 |]
+  in
+  let est = Lpp_core.Estimator.estimate_pattern Lpp_core.Config.a_lhd cat p in
+  Alcotest.(check (float 1e-6)) "dead-ends after one hop" 0.0 est
+
+let test_baselines_reject_hops () =
+  let f = Fixtures.campus () in
+  let g = f.graph in
+  let p =
+    Pattern.make
+      ~nodes:[| raw_node (); raw_node () |]
+      ~rels:
+        [| raw_rel
+             ~types:
+               [| Option.get
+                    (Lpp_pgraph.Interner.find_opt
+                       (Lpp_pgraph.Graph.rel_types g) "attends") |]
+             ~hops:(1, 2) 0 1 |]
+  in
+  Alcotest.(check bool) "neo4j" false (Lpp_baselines.Neo4j_est.supports p);
+  Alcotest.(check bool) "csets" false (Lpp_baselines.Csets.supports p);
+  Alcotest.(check bool) "wj" false (Lpp_baselines.Wander_join.supports p);
+  Alcotest.(check bool) "sumrdf" false (Lpp_baselines.Sumrdf.supports p)
+
+let test_pp_shows_hops () =
+  let p =
+    Pattern.make
+      ~nodes:[| raw_node (); raw_node () |]
+      ~rels:[| raw_rel ~hops:(1, 3) 0 1 |]
+  in
+  let s = Format.asprintf "%a" (Pattern.pp ~names:None) p in
+  Alcotest.(check bool) "renders *1..3" true (Str_contains.contains s "*1..3")
+
+let suite =
+  [
+    Alcotest.test_case "hops: validation" `Quick test_hop_range_validation;
+    Alcotest.test_case "hops: ring counts" `Quick test_ring_path_counts;
+    Alcotest.test_case "hops: ≡ unrolled chain" `Quick test_hops_equal_unrolled_chain;
+    Alcotest.test_case "hops: labeled endpoints" `Quick test_hops_with_label_endpoint;
+    Alcotest.test_case "hops: reference agreement" `Quick test_reference_agrees_on_hops;
+    Alcotest.test_case "hops: estimator exact on ring" `Quick test_estimator_exact_on_ring;
+    Alcotest.test_case "hops: label propagation" `Quick
+      test_estimator_hops_propagates_labels;
+    Alcotest.test_case "hops: baselines reject" `Quick test_baselines_reject_hops;
+    Alcotest.test_case "hops: pretty-printing" `Quick test_pp_shows_hops;
+  ]

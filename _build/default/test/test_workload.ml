@@ -1,0 +1,197 @@
+(* Tests for Lpp_workload.Query_gen and the harness (Qerror, Runner). *)
+
+open Lpp_workload
+
+let gen_queries flavour target =
+  let ds = Lazy.force Fixtures.small_snb in
+  let rng = Lpp_util.Rng.create 314 in
+  let spec =
+    { (Query_gen.default_spec flavour) with
+      target; attempts = 4 * target; truth_budget = 3_000_000 }
+  in
+  (ds, Query_gen.generate rng ds spec)
+
+let with_props = lazy (gen_queries Query_gen.With_props 30)
+
+let no_props = lazy (gen_queries Query_gen.No_props 30)
+
+let test_queries_have_matches () =
+  let _, qs = Lazy.force with_props in
+  Alcotest.(check bool) "got queries" true (List.length qs >= 20);
+  List.iter
+    (fun (q : Query_gen.query) ->
+      Alcotest.(check bool) "anchored ⇒ ≥1 match" true (q.true_card >= 1))
+    qs
+
+let test_ground_truth_correct () =
+  let ds, qs = Lazy.force no_props in
+  List.iter
+    (fun (q : Query_gen.query) ->
+      match Lpp_exec.Matcher.count ds.graph q.pattern with
+      | Lpp_exec.Matcher.Count c ->
+          Alcotest.(check int) "stored truth matches recount" c q.true_card
+      | Budget_exceeded -> Alcotest.fail "unexpected budget blowup")
+    (List.filteri (fun i _ -> i < 10) qs)
+
+let test_shape_and_size_stored () =
+  let _, qs = Lazy.force with_props in
+  List.iter
+    (fun (q : Query_gen.query) ->
+      Alcotest.(check bool) "shape consistent" true
+        (Lpp_pattern.Shape.equal q.shape (Lpp_pattern.Shape.classify q.pattern));
+      Alcotest.(check int) "size consistent" (Lpp_pattern.Pattern.size q.pattern) q.size)
+    qs
+
+let test_with_props_universal_support () =
+  (* "set 1" must be supported by every technique except WJ *)
+  let ds, qs = Lazy.force with_props in
+  let csets = Lpp_harness.Technique.csets ds in
+  let sumrdf = Lpp_harness.Technique.sumrdf ~target_buckets:32 ds in
+  List.iter
+    (fun (q : Query_gen.query) ->
+      Alcotest.(check bool) "csets supports" true (csets.supports q.pattern);
+      Alcotest.(check bool) "sumrdf supports" true (sumrdf.supports q.pattern))
+    qs
+
+let test_with_props_has_properties () =
+  let _, qs = Lazy.force with_props in
+  Alcotest.(check bool) "some queries carry predicates" true
+    (List.exists
+       (fun (q : Query_gen.query) -> Lpp_pattern.Pattern.has_properties q.pattern)
+       qs);
+  List.iter
+    (fun (q : Query_gen.query) ->
+      Alcotest.(check bool) "at most 3 predicates" true
+        (Lpp_pattern.Pattern.prop_total q.pattern <= 3))
+    qs
+
+let test_no_props_flavour () =
+  let _, qs = Lazy.force no_props in
+  List.iter
+    (fun (q : Query_gen.query) ->
+      Alcotest.(check bool) "no predicates" false
+        (Lpp_pattern.Pattern.has_properties q.pattern))
+    qs;
+  (* generalisation must produce some undirected or untyped relationships *)
+  let relaxed =
+    List.exists
+      (fun (q : Query_gen.query) ->
+        Array.exists
+          (fun (r : Lpp_pattern.Pattern.rel_pat) ->
+            (not r.r_directed) || Array.length r.r_types = 0)
+          q.pattern.rels)
+      qs
+  in
+  Alcotest.(check bool) "relaxed rels present" true relaxed
+
+let test_shape_diversity () =
+  let _, qs = Lazy.force no_props in
+  let coarse =
+    List.sort_uniq String.compare
+      (List.map (fun (q : Query_gen.query) -> Lpp_pattern.Shape.coarse q.shape) qs)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "≥3 coarse shapes (%s)" (String.concat "," coarse))
+    true
+    (List.length coarse >= 3)
+
+let test_size_bucket () =
+  Alcotest.(check string) "small" "2-4" (Query_gen.size_bucket 3);
+  Alcotest.(check string) "mid" "5-6" (Query_gen.size_bucket 6);
+  Alcotest.(check string) "large" "7-8" (Query_gen.size_bucket 7);
+  Alcotest.(check string) "huge" "9+" (Query_gen.size_bucket 12)
+
+let test_generation_deterministic () =
+  let ds = Lazy.force Fixtures.small_snb in
+  let spec =
+    { (Query_gen.default_spec No_props) with
+      target = 10; attempts = 40; truth_budget = 2_000_000 }
+  in
+  let a = Query_gen.generate (Lpp_util.Rng.create 55) ds spec in
+  let b = Query_gen.generate (Lpp_util.Rng.create 55) ds spec in
+  Alcotest.(check int) "same count" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Query_gen.query) (y : Query_gen.query) ->
+      Alcotest.(check int) "same truth" x.true_card y.true_card;
+      Alcotest.(check int) "same size" x.size y.size)
+    a b
+
+(* ---------------- Qerror ---------------- *)
+
+let test_qerror () =
+  Alcotest.(check (float 1e-9)) "exact" 1.0 (Lpp_harness.Qerror.q_error ~truth:5.0 ~estimate:5.0);
+  Alcotest.(check (float 1e-9)) "over" 4.0 (Lpp_harness.Qerror.q_error ~truth:5.0 ~estimate:20.0);
+  Alcotest.(check (float 1e-9)) "under" 4.0 (Lpp_harness.Qerror.q_error ~truth:20.0 ~estimate:5.0);
+  Alcotest.(check (float 1e-9)) "zero estimate clamped" 7.0
+    (Lpp_harness.Qerror.q_error ~truth:7.0 ~estimate:0.0);
+  Alcotest.(check (float 1e-9)) "both tiny" 1.0
+    (Lpp_harness.Qerror.q_error ~truth:0.2 ~estimate:0.9);
+  Alcotest.(check bool) "underestimates" true
+    (Lpp_harness.Qerror.underestimates ~truth:10.0 ~estimate:2.0);
+  Alcotest.(check bool) "overestimates" false
+    (Lpp_harness.Qerror.underestimates ~truth:2.0 ~estimate:10.0)
+
+let prop_qerror_symmetric_and_bounded =
+  QCheck.Test.make ~name:"q-error symmetric, ≥1" ~count:300
+    QCheck.(pair (float_range 0.0 1e6) (float_range 0.0 1e6))
+    (fun (a, b) ->
+      let q1 = Lpp_harness.Qerror.q_error ~truth:a ~estimate:b in
+      let q2 = Lpp_harness.Qerror.q_error ~truth:b ~estimate:a in
+      Float.abs (q1 -. q2) < 1e-9 && q1 >= 1.0)
+
+(* ---------------- Runner ---------------- *)
+
+let test_runner_skips_unsupported () =
+  let ds, qs = Lazy.force no_props in
+  let csets = Lpp_harness.Technique.csets ds in
+  let ms = Lpp_harness.Runner.run ~measure_time:false csets qs in
+  let frac = Lpp_harness.Runner.support_fraction csets qs in
+  Alcotest.(check int) "measurements = supported queries"
+    (int_of_float (frac *. float_of_int (List.length qs)))
+    (List.length ms);
+  Alcotest.(check bool) "csets only supports a fraction of set 2" true (frac < 1.0)
+
+let test_runner_measures_time () =
+  let ds, qs = Lazy.force with_props in
+  let tech = Lpp_harness.Technique.ours Lpp_core.Config.a_lhd ds.catalog in
+  let ms = Lpp_harness.Runner.run tech (List.filteri (fun i _ -> i < 3) qs) in
+  List.iter
+    (fun (m : Lpp_harness.Runner.measurement) ->
+      Alcotest.(check bool) "positive runtime" true (m.runtime_ns > 0.0))
+    ms
+
+let test_runner_filter () =
+  let _, qs = Lazy.force no_props in
+  let tech_qs = List.map (fun q -> { q with Query_gen.id = q.Query_gen.id }) qs in
+  let ms =
+    List.map
+      (fun q ->
+        { Lpp_harness.Runner.query = q; estimate = 1.0; q_error = 1.0;
+          runtime_ns = 1.0 })
+      tech_qs
+  in
+  let chains =
+    Lpp_harness.Runner.filter
+      (fun q -> Lpp_pattern.Shape.coarse q.Query_gen.shape = "chain")
+      ms
+  in
+  Alcotest.(check bool) "filter selects subset" true
+    (List.length chains <= List.length ms)
+
+let suite =
+  [
+    Alcotest.test_case "queries: anchored" `Quick test_queries_have_matches;
+    Alcotest.test_case "queries: truth correct" `Quick test_ground_truth_correct;
+    Alcotest.test_case "queries: shape/size stored" `Quick test_shape_and_size_stored;
+    Alcotest.test_case "set1: universal support" `Quick test_with_props_universal_support;
+    Alcotest.test_case "set1: properties" `Quick test_with_props_has_properties;
+    Alcotest.test_case "set2: flavour" `Quick test_no_props_flavour;
+    Alcotest.test_case "queries: shape diversity" `Quick test_shape_diversity;
+    Alcotest.test_case "size buckets" `Quick test_size_bucket;
+    Alcotest.test_case "queries: deterministic" `Quick test_generation_deterministic;
+    Alcotest.test_case "qerror: cases" `Quick test_qerror;
+    QCheck_alcotest.to_alcotest prop_qerror_symmetric_and_bounded;
+    Alcotest.test_case "runner: unsupported skipped" `Quick test_runner_skips_unsupported;
+    Alcotest.test_case "runner: timing" `Quick test_runner_measures_time;
+    Alcotest.test_case "runner: filter" `Quick test_runner_filter;
+  ]
