@@ -32,7 +32,7 @@ let sizes = function
 let make ~scale ~seed =
   let persons, movies, entities, target = sizes scale in
   Printf.printf "[env] generating datasets (seed %d)…\n%!" seed;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Lpp_util.Clock.now_ns () in
   let datasets =
     [
       Lpp_datasets.Snb_gen.generate ~persons ~seed ();
@@ -40,9 +40,9 @@ let make ~scale ~seed =
       Lpp_datasets.Dbpedia_gen.generate ~entities ~seed:(seed + 2) ();
     ]
   in
-  Printf.printf "[env] datasets ready (%.1fs)\n%!" (Unix.gettimeofday () -. t0);
+  Printf.printf "[env] datasets ready (%.1fs)\n%!" (Lpp_util.Clock.elapsed_s ~since:t0);
   let gen_set flavour (ds : Lpp_datasets.Dataset.t) i =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Lpp_util.Clock.now_ns () in
     let rng = Lpp_util.Rng.create (seed + 100 + i) in
     let spec =
       { (Query_gen.default_spec flavour) with
@@ -55,7 +55,7 @@ let make ~scale ~seed =
     Printf.printf "[env] %s %s: %d queries (%.1fs)\n%!" ds.name
       (match flavour with With_props -> "set-1 (props)" | No_props -> "set-2 (no props)")
       (List.length qs)
-      (Unix.gettimeofday () -. t0);
+      (Lpp_util.Clock.elapsed_s ~since:t0);
     (ds.name, qs)
   in
   let with_props = List.mapi (fun i ds -> gen_set With_props ds i) datasets in
@@ -99,12 +99,12 @@ let measurements t =
               let qs = queries t ~with_props ds.name in
               List.iter
                 (fun (tech : Lpp_harness.Technique.t) ->
-                  let t0 = Unix.gettimeofday () in
+                  let t0 = Lpp_util.Clock.now_ns () in
                   let ms = Lpp_harness.Runner.run tech qs in
                   Printf.printf "[run] %-28s %3d queries  (%.1fs)\n%!"
                     (run_key ds.name ~with_props tech.name)
                     (List.length ms)
-                    (Unix.gettimeofday () -. t0);
+                    (Lpp_util.Clock.elapsed_s ~since:t0);
                   Hashtbl.replace runs
                     (run_key ds.name ~with_props tech.name)
                     ms)

@@ -506,6 +506,110 @@ let ext_varlen (env : Env.t) =
     t
 
 (* ------------------------------------------------------------------ *)
+(* Multicore scaling: ground truth, catalog build, runner               *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the three parallelised stages at jobs ∈ {1, 2, 4}, checks the
+   results are bit-identical to the sequential run, and writes the numbers
+   to BENCH_parallel.json for machine consumption. *)
+let parallel_bench (env : Env.t) =
+  let ds = Env.dataset env "SNB" in
+  let qs = Env.queries env ~with_props:false "SNB" in
+  let jobs_list = [ 1; 2; 4 ] in
+  (* each stage returns a digest of its full result so runs at different
+     [jobs] can be compared for bit-identity without keeping results alive *)
+  let digest v = Digest.to_hex (Digest.string (Marshal.to_string v [])) in
+  let ground_truth jobs =
+    digest
+      (List.map
+         (fun (q : Query_gen.query) ->
+           Lpp_exec.Matcher.count ~jobs ~budget:10_000_000 ds.graph q.pattern)
+         qs)
+  in
+  let catalog jobs =
+    let c = Lpp_stats.Catalog.build ~jobs ds.graph in
+    let labels = None :: List.init (Lpp_stats.Catalog.label_count c) Option.some in
+    let types =
+      List.init (Lpp_pgraph.Graph.rel_type_count ds.graph) (fun t -> [| t |])
+    in
+    (* the full (label ∪ ✱)² × (type ∪ any) triple table, plus node counts
+       and the memory accounting that folds over the raw tables *)
+    let rc_matrix =
+      List.concat_map
+        (fun node ->
+          List.concat_map
+            (fun other ->
+              List.map
+                (fun types ->
+                  Lpp_stats.Catalog.rc c ~dir:Lpp_pgraph.Direction.Out ~node
+                    ~types ~other)
+                ([||] :: types))
+            labels)
+        labels
+    in
+    let ncs =
+      List.map
+        (fun l -> Lpp_stats.Catalog.nc c (Option.value ~default:(-1) l))
+        labels
+    in
+    digest
+      ( rc_matrix,
+        ncs,
+        Lpp_stats.Catalog.rel_total c,
+        Lpp_stats.Catalog.memory_bytes_simple c,
+        Lpp_stats.Catalog.memory_bytes_advanced c )
+  in
+  let runner jobs =
+    let tech = Technique.ours Lpp_core.Config.a_lhd ds.catalog in
+    digest
+      (List.map
+         (fun (m : Runner.measurement) -> (m.query.Query_gen.id, m.estimate))
+         (Runner.run ~measure_time:false ~jobs tech qs))
+  in
+  let stages =
+    [ ("ground_truth", ground_truth); ("catalog", catalog); ("runner", runner) ]
+  in
+  let t = Ascii_table.create [ "stage"; "jobs"; "wall"; "speedup"; "identical" ] in
+  let rows =
+    List.concat_map
+      (fun (stage, run) ->
+        let timed jobs =
+          let t0 = Clock.now_ns () in
+          let d = run jobs in
+          (d, Clock.elapsed_ns ~since:t0)
+        in
+        let base_digest, base_ns = timed 1 in
+        List.map
+          (fun jobs ->
+            let d, ns = if jobs = 1 then (base_digest, base_ns) else timed jobs in
+            let speedup = base_ns /. ns in
+            let identical = String.equal d base_digest in
+            Ascii_table.add_row t
+              [ stage;
+                string_of_int jobs;
+                Report.ns_to_string ns;
+                Printf.sprintf "%.2fx" speedup;
+                (if identical then "yes" else "NO") ];
+            Printf.sprintf
+              "    { \"dataset\": \"SNB\", \"stage\": %S, \"jobs\": %d, \
+               \"wall_ns\": %.0f, \"speedup\": %.3f, \"identical\": %b }"
+              stage jobs ns speedup identical)
+          jobs_list)
+      stages
+  in
+  Ascii_table.print
+    ~title:"Multicore scaling (SNB, set 2) — parallel vs sequential" t;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n  \"dataset\": \"SNB\",\n  \"scale\": %S,\n  \"host_domains\": %d,\n\
+    \  \"results\": [\n%s\n  ]\n}\n"
+    (match env.scale with Env.Quick -> "quick" | Env.Default -> "default")
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" rows);
+  close_out oc;
+  Printf.printf "[parallel] wrote BENCH_parallel.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 
 let all : (string * string * (Env.t -> unit)) list =
   [
@@ -524,4 +628,5 @@ let all : (string * string * (Env.t -> unit)) list =
     ("order", "operator ordering heuristic", ordering);
     ("ext-tri", "extension: triangle statistics ablation", ext_triangles);
     ("ext-varlen", "extension: variable-length paths", ext_varlen);
+    ("parallel", "multicore scaling of ground truth / catalog / runner", parallel_bench);
   ]

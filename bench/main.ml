@@ -13,7 +13,8 @@ let list_experiments () =
     Experiments.all;
   Printf.printf "  %-8s %s\n" "bechamel" "estimator latency microbenchmark"
 
-let run quick seed only =
+let run quick seed only jobs =
+  Option.iter Lpp_util.Pool.set_default_jobs jobs;
   let scale = if quick then Env.Quick else Env.Default in
   let wanted id =
     match only with
@@ -21,12 +22,12 @@ let run quick seed only =
     | Some ids -> List.mem id (String.split_on_char ',' ids)
   in
   let env = Env.make ~scale ~seed in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Lpp_util.Clock.now_ns () in
   List.iter
     (fun (id, _descr, f) -> if wanted id then f env)
     Experiments.all;
   if wanted "bechamel" then Bechamel_bench.run env;
-  Printf.printf "\n[bench] done in %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\n[bench] done in %.1fs\n" (Lpp_util.Clock.elapsed_s ~since:t0)
 
 let () =
   let open Cmdliner in
@@ -45,10 +46,17 @@ let () =
   let list_flag =
     Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Default domains for parallel stages (LPP_JOBS also works).")
+  in
   let term =
     Term.(
-      const (fun l q s o -> if l then list_experiments () else run q s o)
-      $ list_flag $ quick $ seed $ only)
+      const (fun l q s o j -> if l then list_experiments () else run q s o j)
+      $ list_flag $ quick $ seed $ only $ jobs)
   in
   let info =
     Cmd.info "lpp-bench"

@@ -38,6 +38,14 @@ let queries_arg =
 let props_arg =
   Arg.(value & flag & info [ "props" ] ~doc:"Generate queries with property predicates")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Domains for parallel stages (default: LPP_JOBS or the \
+                 recommended domain count); results are identical for every N")
+
+let set_jobs jobs = Option.iter Lpp_util.Pool.set_default_jobs jobs
+
 let gen_workload ds ~seed ~n ~props =
   let flavour =
     if props then Lpp_workload.Query_gen.With_props
@@ -67,7 +75,8 @@ let cmd_datasets =
 (* ---- workload ------------------------------------------------------- *)
 
 let cmd_workload =
-  let run name seed n props =
+  let run jobs name seed n props =
+    set_jobs jobs;
     let ds = dataset_of_name name ~seed in
     let qs = gen_workload ds ~seed ~n ~props in
     let t = Lpp_util.Ascii_table.create [ "id"; "shape"; "size"; "truth"; "pattern" ] in
@@ -87,12 +96,13 @@ let cmd_workload =
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Generate an anchored query workload with ground truth")
-    Term.(const run $ dataset_arg $ seed_arg $ queries_arg $ props_arg)
+    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg $ props_arg)
 
 (* ---- estimate ------------------------------------------------------- *)
 
 let cmd_estimate =
-  let run name seed n props =
+  let run jobs name seed n props =
+    set_jobs jobs;
     let ds = dataset_of_name name ~seed in
     let qs = gen_workload ds ~seed ~n ~props in
     let techs = Lpp_harness.Technique.our_configurations ds in
@@ -126,12 +136,13 @@ let cmd_estimate =
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Estimate a generated workload with every configuration of our technique")
-    Term.(const run $ dataset_arg $ seed_arg $ queries_arg $ props_arg)
+    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg $ props_arg)
 
 (* ---- plan ----------------------------------------------------------- *)
 
 let cmd_plan =
-  let run name seed n props =
+  let run jobs name seed n props =
+    set_jobs jobs;
     let ds = dataset_of_name name ~seed in
     let qs = gen_workload ds ~seed ~n ~props in
     List.iter
@@ -153,7 +164,7 @@ let cmd_plan =
   Cmd.v
     (Cmd.info "plan"
        ~doc:"Show operator sequences and per-operator cardinality traces")
-    Term.(const run $ dataset_arg $ seed_arg $ queries_arg $ props_arg)
+    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg $ props_arg)
 
 (* ---- export --------------------------------------------------------- *)
 
@@ -177,7 +188,8 @@ let cmd_export =
 (* ---- query ---------------------------------------------------------- *)
 
 let cmd_query =
-  let run name seed queries =
+  let run jobs name seed queries =
+    set_jobs jobs;
     let ds = dataset_of_name name ~seed in
     List.iter
       (fun q ->
@@ -211,7 +223,7 @@ let cmd_query =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Parse openCypher-style patterns, estimate and count them")
-    Term.(const run $ dataset_arg $ seed_arg $ queries)
+    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries)
 
 let () =
   let info =

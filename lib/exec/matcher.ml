@@ -8,16 +8,7 @@ type binding = { nodes : int array; rels : int array }
 exception Out_of_budget
 
 let prop_ok props key pred =
-  match
-    (let rec find i =
-       if i >= Array.length props then None
-       else begin
-         let k, v = props.(i) in
-         if k = key then Some v else find (i + 1)
-       end
-     in
-     find 0)
-  with
+  match Graph.assoc_prop props key with
   | None -> false
   | Some v -> begin
       match (pred : Pattern.prop_pred) with
@@ -110,9 +101,13 @@ let iter_candidate_rels g (rp : Pattern.rel_pat) ~from_src u f =
     scan_in ()
   end
 
-let start_candidates g (p : Pattern.t) start f =
+(* The candidate extent of the start node: every node for a label-free start,
+   the index of the rarest required label otherwise. Materialised as an array
+   so the extent can be partitioned across domains. *)
+let start_extent g (p : Pattern.t) start =
   let np = p.nodes.(start) in
-  if Array.length np.n_labels = 0 then Graph.iter_nodes g f
+  if Array.length np.n_labels = 0 then
+    Array.init (Graph.node_count g) Fun.id
   else begin
     (* Scan the index of the rarest required label. *)
     let best = ref np.n_labels.(0) in
@@ -123,10 +118,15 @@ let start_candidates g (p : Pattern.t) start f =
           < Array.length (Graph.nodes_with_label g !best)
         then best := l)
       np.n_labels;
-    Array.iter f (Graph.nodes_with_label g !best)
+    Graph.nodes_with_label g !best
   end
 
-let run ?(semantics = Semantics.Cypher) ?(budget = 50_000_000) g (p : Pattern.t)
+(* One independent backtracking searcher: all mutable search state is local,
+   so several searchers may run concurrently on different domains as long as
+   each receives its own [tick] and [on_match]. Returns the start pattern
+   node and a [try_start] that explores everything reachable from one start
+   candidate. *)
+let make_searcher ?(semantics = Semantics.Cypher) g (p : Pattern.t) ~tick
     ~on_match =
   let start, steps = traversal_order p in
   let n = Pattern.node_count p in
@@ -136,11 +136,6 @@ let run ?(semantics = Semantics.Cypher) ?(budget = 50_000_000) g (p : Pattern.t)
   (* global edge-isomorphism marks, shared by single relationships and every
      hop of variable-length paths *)
   let used = Array.make (max (Graph.rel_count g) 1) false in
-  let remaining = ref budget in
-  let tick () =
-    decr remaining;
-    if !remaining < 0 then raise Out_of_budget
-  in
   let edge_iso = Semantics.equal semantics Cypher in
   let rec go i =
     if i >= Array.length steps then on_match node_of rel_of
@@ -190,19 +185,70 @@ let run ?(semantics = Semantics.Cypher) ?(budget = 50_000_000) g (p : Pattern.t)
           walk 0 u
     end
   in
-  start_candidates g p start (fun nd ->
-      tick ();
-      if node_matches g p start nd then begin
-        node_of.(start) <- nd;
-        go 0;
-        node_of.(start) <- -1
-      end)
+  let try_start nd =
+    tick ();
+    if node_matches g p start nd then begin
+      node_of.(start) <- nd;
+      go 0;
+      node_of.(start) <- -1
+    end
+  in
+  (start, try_start)
 
-let count ?semantics ?budget g p =
-  let total = ref 0 in
-  match run ?semantics ?budget g p ~on_match:(fun _ _ -> incr total) with
-  | () -> Count !total
-  | exception Out_of_budget -> Budget_exceeded
+let run ?semantics ?(budget = 50_000_000) g (p : Pattern.t) ~on_match =
+  let remaining = ref budget in
+  let tick () =
+    decr remaining;
+    if !remaining < 0 then raise Out_of_budget
+  in
+  let start, try_start = make_searcher ?semantics g p ~tick ~on_match in
+  Array.iter try_start (start_extent g p start)
+
+(* Parallel counting partitions the start extent across domains; every chunk
+   searches with a private budget counter equal to the full budget, and the
+   per-chunk step counts are summed afterwards. The outcome is bit-identical
+   to the sequential run: the search explores T total steps regardless of the
+   partition, the sequential run reports [Budget_exceeded] iff T > budget,
+   and here either some chunk alone exceeds the budget (hence T does), or
+   every chunk completes and the exact T is compared against the budget. *)
+let count ?semantics ?(budget = 50_000_000) ?jobs g p =
+  let jobs = Lpp_util.Pool.resolve_jobs jobs in
+  if jobs <= 1 then begin
+    let total = ref 0 in
+    match run ?semantics ~budget g p ~on_match:(fun _ _ -> incr total) with
+    | () -> Count !total
+    | exception Out_of_budget -> Budget_exceeded
+  end
+  else begin
+    let start, _ = traversal_order p in
+    let extent = start_extent g p start in
+    let chunk ~lo ~hi =
+      let steps = ref 0 in
+      let tick () =
+        incr steps;
+        if !steps > budget then raise Out_of_budget
+      in
+      let total = ref 0 in
+      let _, try_start =
+        make_searcher ?semantics g p ~tick ~on_match:(fun _ _ -> incr total)
+      in
+      match
+        for i = lo to hi - 1 do
+          try_start extent.(i)
+        done
+      with
+      | () -> (!steps, Some !total)
+      | exception Out_of_budget -> (!steps, None)
+    in
+    let shards =
+      Lpp_util.Pool.parallel_chunks ~jobs ~n:(Array.length extent) chunk
+    in
+    let steps = List.fold_left (fun acc (s, _) -> acc + s) 0 shards in
+    if steps > budget || List.exists (fun (_, c) -> c = None) shards then
+      Budget_exceeded
+    else
+      Count (List.fold_left (fun acc (_, c) -> acc + Option.get c) 0 shards)
+  end
 
 let enumerate ?semantics ?budget ?(limit = 1000) g p =
   let acc = ref [] in

@@ -19,123 +19,116 @@ let lookup assoc var = List.assoc var assoc
 
 let drop assoc var = List.remove_assoc var assoc
 
-let prop_ok props key pred =
-  match
-    Array.fold_left
-      (fun acc (k, v) -> if k = key then Some v else acc)
-      None props
-  with
-  | None -> false
-  | Some v -> begin
-      match (pred : Pattern.prop_pred) with
-      | Exists -> true
-      | Eq want -> Value.equal v want
-    end
+let prop_ok = Matcher.prop_ok
+
+(* One operator applied to a full intermediate result. Every operator
+   processes its input mappings independently of one another (GetNodes is
+   always first and introduces them), which is what makes partitioning the
+   initial extent across domains sound. *)
+let apply_op ~edge_iso g mappings (op : Algebra.op) =
+  match op with
+  | Get_nodes { var } ->
+      (* GetNodes is always the first operator in our sequences; applying it
+         to a non-empty input would be a cross product, which the algebra of
+         the paper never produces. *)
+      assert (mappings = [ { node_bind = []; rel_bind = [] } ]);
+      Graph.fold_nodes g ~init:[] ~f:(fun acc n ->
+          { node_bind = [ (var, n) ]; rel_bind = [] } :: acc)
+  | Label_selection { var; label } ->
+      List.filter
+        (fun m -> Graph.node_has_label g (lookup m.node_bind var) label)
+        mappings
+  | Prop_selection { kind; var; props } ->
+      List.filter
+        (fun m ->
+          match kind with
+          | Algebra.Node_var ->
+              let entity_props = Graph.node_props g (lookup m.node_bind var) in
+              Array.for_all (fun (k, pred) -> prop_ok entity_props k pred) props
+          | Algebra.Rel_var ->
+              (* a variable-length binding satisfies the predicates iff
+                 every hop does, matching how the matcher filters hops *)
+              List.for_all
+                (fun r ->
+                  Array.for_all
+                    (fun (k, pred) -> prop_ok (Graph.rel_props g r) k pred)
+                    props)
+                (lookup m.rel_bind var))
+        mappings
+  | Expand { src_var; rel_var; dst_var; types; dir; hops } ->
+      let type_ok t = Array.length types = 0 || Array.exists (( = ) t) types in
+      let out = ref [] in
+      List.iter
+        (fun m ->
+          let bound_elsewhere r =
+            List.exists (fun (_, rs) -> List.mem r rs) m.rel_bind
+          in
+          (* iterate qualifying relationships around [u] not in [path] *)
+          let iter_hops u path f =
+            let consider r other =
+              if
+                type_ok (Graph.rel_type g r)
+                && ((not edge_iso)
+                   || ((not (bound_elsewhere r)) && not (List.mem r path)))
+              then f r other
+            in
+            let scan_out () =
+              Array.iter
+                (fun r -> consider r (Graph.rel_dst g r))
+                (Graph.out_rels g u)
+            in
+            let scan_in ~skip_loops =
+              Array.iter
+                (fun r ->
+                  if not (skip_loops && Graph.rel_src g r = Graph.rel_dst g r)
+                  then consider r (Graph.rel_src g r))
+                (Graph.in_rels g u)
+            in
+            match (dir : Direction.t) with
+            | Out -> scan_out ()
+            | In -> scan_in ~skip_loops:false
+            | Both ->
+                scan_out ();
+                scan_in ~skip_loops:true
+          in
+          let emit node path =
+            out :=
+              {
+                node_bind = bind m.node_bind dst_var node;
+                rel_bind = bind m.rel_bind rel_var (List.rev path);
+              }
+              :: !out
+          in
+          let u = lookup m.node_bind src_var in
+          match hops with
+          | None -> iter_hops u [] (fun r other -> emit other [ r ])
+          | Some (lo, hi) ->
+              let rec walk depth node path =
+                if depth >= lo then emit node path;
+                if depth < hi then
+                  iter_hops node path (fun r other ->
+                      walk (depth + 1) other (r :: path))
+              in
+              walk 0 u [])
+        mappings;
+      !out
+  | Merge_on { keep; merge; cycle_len = _ } ->
+      List.filter_map
+        (fun m ->
+          if lookup m.node_bind keep = lookup m.node_bind merge then
+            Some { m with node_bind = drop m.node_bind merge }
+          else None)
+        mappings
 
 let eval_steps ?(semantics = Semantics.Cypher) ?(max_intermediate = 200_000) g
     (alg : Algebra.t) ~on_step =
   let exception Too_big in
   let check_size l = if List.length l > max_intermediate then raise Too_big in
   let edge_iso = Semantics.equal semantics Cypher in
-  let apply mappings op =
-    match (op : Algebra.op) with
-    | Get_nodes { var } ->
-        (* GetNodes is always the first operator in our sequences; applying it
-           to a non-empty input would be a cross product, which the algebra of
-           the paper never produces. *)
-        assert (mappings = [ { node_bind = []; rel_bind = [] } ]);
-        Graph.fold_nodes g ~init:[] ~f:(fun acc n ->
-            { node_bind = [ (var, n) ]; rel_bind = [] } :: acc)
-    | Label_selection { var; label } ->
-        List.filter
-          (fun m -> Graph.node_has_label g (lookup m.node_bind var) label)
-          mappings
-    | Prop_selection { kind; var; props } ->
-        List.filter
-          (fun m ->
-            match kind with
-            | Algebra.Node_var ->
-                let entity_props = Graph.node_props g (lookup m.node_bind var) in
-                Array.for_all (fun (k, pred) -> prop_ok entity_props k pred) props
-            | Algebra.Rel_var ->
-                (* a variable-length binding satisfies the predicates iff
-                   every hop does, matching how the matcher filters hops *)
-                List.for_all
-                  (fun r ->
-                    Array.for_all
-                      (fun (k, pred) -> prop_ok (Graph.rel_props g r) k pred)
-                      props)
-                  (lookup m.rel_bind var))
-          mappings
-    | Expand { src_var; rel_var; dst_var; types; dir; hops } ->
-        let type_ok t = Array.length types = 0 || Array.exists (( = ) t) types in
-        let out = ref [] in
-        List.iter
-          (fun m ->
-            let bound_elsewhere r =
-              List.exists (fun (_, rs) -> List.mem r rs) m.rel_bind
-            in
-            (* iterate qualifying relationships around [u] not in [path] *)
-            let iter_hops u path f =
-              let consider r other =
-                if
-                  type_ok (Graph.rel_type g r)
-                  && ((not edge_iso)
-                     || ((not (bound_elsewhere r)) && not (List.mem r path)))
-                then f r other
-              in
-              let scan_out () =
-                Array.iter
-                  (fun r -> consider r (Graph.rel_dst g r))
-                  (Graph.out_rels g u)
-              in
-              let scan_in ~skip_loops =
-                Array.iter
-                  (fun r ->
-                    if not (skip_loops && Graph.rel_src g r = Graph.rel_dst g r)
-                    then consider r (Graph.rel_src g r))
-                  (Graph.in_rels g u)
-              in
-              match (dir : Direction.t) with
-              | Out -> scan_out ()
-              | In -> scan_in ~skip_loops:false
-              | Both ->
-                  scan_out ();
-                  scan_in ~skip_loops:true
-            in
-            let emit node path =
-              out :=
-                {
-                  node_bind = bind m.node_bind dst_var node;
-                  rel_bind = bind m.rel_bind rel_var (List.rev path);
-                }
-                :: !out
-            in
-            let u = lookup m.node_bind src_var in
-            match hops with
-            | None -> iter_hops u [] (fun r other -> emit other [ r ])
-            | Some (lo, hi) ->
-                let rec walk depth node path =
-                  if depth >= lo then emit node path;
-                  if depth < hi then
-                    iter_hops node path (fun r other ->
-                        walk (depth + 1) other (r :: path))
-                in
-                walk 0 u [])
-          mappings;
-        !out
-    | Merge_on { keep; merge; cycle_len = _ } ->
-        List.filter_map
-          (fun m ->
-            if lookup m.node_bind keep = lookup m.node_bind merge then
-              Some { m with node_bind = drop m.node_bind merge }
-            else None)
-          mappings
-  in
   match
     Array.fold_left
       (fun acc op ->
-        let next = apply acc op in
+        let next = apply_op ~edge_iso g acc op in
         check_size next;
         on_step (List.length next);
         next)
@@ -148,8 +141,63 @@ let eval_steps ?(semantics = Semantics.Cypher) ?(max_intermediate = 200_000) g
 let eval ?semantics ?max_intermediate g alg =
   eval_steps ?semantics ?max_intermediate g alg ~on_step:(fun _ -> ())
 
-let count ?semantics ?max_intermediate g alg =
-  Option.map List.length (eval ?semantics ?max_intermediate g alg)
+(* Parallel counting: partition the GetNodes extent into per-domain slices
+   and run the remaining operators over each slice independently. Per-step
+   sizes are tracked locally and summed after the barrier, so the Too_big
+   outcome is identical to the sequential evaluation: a slice aborts only
+   when its local size alone exceeds [max_intermediate] (then the total does
+   too), and otherwise the exact per-step totals decide. *)
+let count_sharded ~semantics ~max_intermediate ~jobs g (alg : Algebra.t) var =
+  let edge_iso = Semantics.equal semantics Semantics.Cypher in
+  let ops = alg.ops in
+  let n_ops = Array.length ops in
+  let n = Graph.node_count g in
+  let chunk ~lo ~hi =
+    let sizes = Array.make n_ops 0 in
+    sizes.(0) <- hi - lo;
+    let exception Local_too_big in
+    let mappings = ref [] in
+    for nd = lo to hi - 1 do
+      mappings := { node_bind = [ (var, nd) ]; rel_bind = [] } :: !mappings
+    done;
+    match
+      for i = 1 to n_ops - 1 do
+        mappings := apply_op ~edge_iso g !mappings ops.(i);
+        let len = List.length !mappings in
+        sizes.(i) <- len;
+        if len > max_intermediate then raise Local_too_big
+      done
+    with
+    | () -> Some (sizes, List.length !mappings)
+    | exception Local_too_big -> None
+  in
+  let shards = Lpp_util.Pool.parallel_chunks ~jobs ~n chunk in
+  if List.exists Option.is_none shards then None
+  else begin
+    let shards = List.map Option.get shards in
+    let totals = Array.make n_ops 0 in
+    List.iter
+      (fun (sizes, _) ->
+        Array.iteri (fun i s -> totals.(i) <- totals.(i) + s) sizes)
+      shards;
+    if Array.exists (fun s -> s > max_intermediate) totals then None
+    else Some (List.fold_left (fun acc (_, c) -> acc + c) 0 shards)
+  end
+
+let count ?(semantics = Semantics.Cypher) ?(max_intermediate = 200_000) ?jobs g
+    (alg : Algebra.t) =
+  let jobs = Lpp_util.Pool.resolve_jobs jobs in
+  let sharded_start =
+    if jobs > 1 && Array.length alg.ops > 0 then
+      match alg.ops.(0) with
+      | Algebra.Get_nodes { var } -> Some var
+      | _ -> None
+    else None
+  in
+  match sharded_start with
+  | Some var -> count_sharded ~semantics ~max_intermediate ~jobs g alg var
+  | None ->
+      Option.map List.length (eval ~semantics ~max_intermediate g alg)
 
 let intermediate_sizes ?semantics ?max_intermediate g alg =
   let sizes = ref [] in

@@ -6,10 +6,9 @@ type measurement = {
 }
 
 let time_once f x =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Lpp_util.Clock.now_ns () in
   let y = f x in
-  let t1 = Unix.gettimeofday () in
-  (y, (t1 -. t0) *. 1e9)
+  (y, Lpp_util.Clock.elapsed_ns ~since:t0)
 
 (* Repeat until ≥ ~1ms total so fast estimators get stable per-call numbers. *)
 let timed_estimate f x =
@@ -17,33 +16,38 @@ let timed_estimate f x =
   if ns >= 1_000_000.0 then (y, ns)
   else begin
     let reps = max 1 (int_of_float (1_000_000.0 /. Float.max ns 100.0)) in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Lpp_util.Clock.now_ns () in
     for _ = 1 to reps do
       ignore (f x)
     done;
-    let t1 = Unix.gettimeofday () in
-    (y, (t1 -. t0) *. 1e9 /. float_of_int reps)
+    (y, Lpp_util.Clock.elapsed_ns ~since:t0 /. float_of_int reps)
   end
 
-let run ?(measure_time = true) (t : Technique.t) queries =
-  List.filter_map
-    (fun (q : Lpp_workload.Query_gen.query) ->
-      if not (t.supports q.pattern) then None
-      else begin
-        let estimate, runtime_ns =
-          if measure_time then timed_estimate t.estimate q.pattern
-          else (t.estimate q.pattern, 0.0)
-        in
-        Some
-          {
-            query = q;
-            estimate;
-            q_error =
-              Qerror.q_error ~truth:(float_of_int q.true_card) ~estimate;
-            runtime_ns;
-          }
-      end)
-    queries
+let run ?(measure_time = true) ?jobs (t : Technique.t) queries =
+  let eval (q : Lpp_workload.Query_gen.query) =
+    if not (t.supports q.pattern) then None
+    else begin
+      let estimator =
+        match t.seeded_estimate with
+        | Some f -> fun p -> f q.id p
+        | None -> t.estimate
+      in
+      let estimate, runtime_ns =
+        if measure_time then timed_estimate estimator q.pattern
+        else (estimator q.pattern, 0.0)
+      in
+      Some
+        {
+          query = q;
+          estimate;
+          q_error = Qerror.q_error ~truth:(float_of_int q.true_card) ~estimate;
+          runtime_ns;
+        }
+    end
+  in
+  Lpp_util.Pool.parallel_map_array ?jobs eval (Array.of_list queries)
+  |> Array.to_list
+  |> List.filter_map Fun.id
 
 let support_fraction (t : Technique.t) queries =
   match queries with

@@ -5,17 +5,25 @@ type measurement = {
   query : Lpp_workload.Query_gen.query;
   estimate : float;
   q_error : float;
-  runtime_ns : float;  (** wall-clock per single estimation call *)
+  runtime_ns : float;  (** monotonic wall clock per single estimation call *)
 }
 
 val run :
   ?measure_time:bool ->
+  ?jobs:int ->
   Technique.t ->
   Lpp_workload.Query_gen.query list ->
   measurement list
 (** Unsupported queries are skipped. With [measure_time] (default true) each
     estimate is repeated until at least ~1 ms of wall clock has been observed
-    so that sub-microsecond estimators still get a meaningful latency. *)
+    so that sub-microsecond estimators still get a meaningful latency.
+
+    With [jobs > 1] (default {!Lpp_util.Pool.default_jobs}) queries are
+    evaluated across domains; measurements come back in query order, and
+    randomised techniques use their per-query [seeded_estimate] streams, so
+    the estimates (and q-errors) are identical to the [jobs:1] run. Only the
+    [runtime_ns] readings vary between runs, as wall-clock timings always
+    do. *)
 
 val support_fraction :
   Technique.t -> Lpp_workload.Query_gen.query list -> float

@@ -4,6 +4,7 @@ type t = {
   name : string;
   supports : Lpp_pattern.Pattern.t -> bool;
   estimate : Lpp_pattern.Pattern.t -> float;
+  seeded_estimate : (int -> Lpp_pattern.Pattern.t -> float) option;
   memory_bytes : int;
 }
 
@@ -12,6 +13,7 @@ let ours config catalog =
     name = Lpp_core.Config.name config;
     supports = (fun _ -> true);
     estimate = (fun p -> Lpp_core.Estimator.estimate_pattern config catalog p);
+    seeded_estimate = None;
     memory_bytes = Lpp_core.Estimator.memory_bytes config catalog;
   }
 
@@ -21,6 +23,7 @@ let neo4j catalog =
     name = "Neo4j";
     supports = Neo4j_est.supports;
     estimate = Neo4j_est.estimate est;
+    seeded_estimate = None;
     memory_bytes = Neo4j_est.memory_bytes est;
   }
 
@@ -30,6 +33,7 @@ let csets (ds : Lpp_datasets.Dataset.t) =
     name = "CSets";
     supports = Csets.supports;
     estimate = Csets.estimate est;
+    seeded_estimate = None;
     memory_bytes = Csets.memory_bytes est;
   }
 
@@ -40,6 +44,14 @@ let wander_join ~seed config (ds : Lpp_datasets.Dataset.t) =
     name = Wander_join.config_name config;
     supports = Wander_join.supports;
     estimate = (fun p -> Wander_join.estimate ~rng est config p);
+    (* a private stream per query id: the estimate for query [i] does not
+       depend on which other queries ran before it or on which domain it
+       runs, so parallel runs reproduce sequential ones exactly *)
+    seeded_estimate =
+      Some
+        (fun qid p ->
+          let rng = Lpp_util.Rng.create (((qid + 1) * 1_000_003) + seed) in
+          Wander_join.estimate ~rng est config p);
     memory_bytes = Wander_join.memory_bytes est;
   }
 
@@ -49,6 +61,7 @@ let sumrdf ?target_buckets ?budget (ds : Lpp_datasets.Dataset.t) =
     name = "SumRDF";
     supports = Sumrdf.supports;
     estimate = Sumrdf.estimate ?budget est;
+    seeded_estimate = None;
     memory_bytes = Sumrdf.memory_bytes est;
   }
 

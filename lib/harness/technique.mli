@@ -6,6 +6,12 @@ type t = {
   name : string;
   supports : Lpp_pattern.Pattern.t -> bool;
   estimate : Lpp_pattern.Pattern.t -> float;
+  seeded_estimate : (int -> Lpp_pattern.Pattern.t -> float) option;
+      (** For randomised techniques: [f qid p] estimates with a private RNG
+          stream derived from the technique seed and the query id, so results
+          are independent of evaluation order and of the domain the call runs
+          on. [None] for deterministic techniques; {!Runner.run} prefers this
+          over [estimate] when present. *)
   memory_bytes : int;
 }
 

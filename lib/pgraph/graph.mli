@@ -47,6 +47,12 @@ val node_has_label : t -> node -> int -> bool
 val node_props : t -> node -> (int * Value.t) array
 (** Sorted by key id. *)
 
+val assoc_prop : (int * Value.t) array -> int -> Value.t option
+(** Sorted-early-exit lookup over a property array in the representation
+    returned by {!node_props}/{!rel_props} (ascending key ids): stops as soon
+    as a larger key is seen. The single property-lookup primitive — reuse it
+    instead of re-implementing linear scans. *)
+
 val node_prop : t -> node -> int -> Value.t option
 
 val nodes_with_label : t -> int -> node array

@@ -13,7 +13,12 @@ type t = {
   hierarchy : Label_hierarchy.t;
   partition : Label_partition.t;
   props : Prop_stats.t;
-  triangles : Triangle_stats.t Lazy.t;
+  (* triangle census, computed on first use; guarded by a mutex because the
+     catalog is shared across domains and concurrent [Lazy.force] from
+     several domains is unsafe in OCaml 5 *)
+  tri_graph : Graph.t;
+  tri_mutex : Mutex.t;
+  mutable tri : Triangle_stats.t option;
 }
 
 let star = -1
@@ -25,7 +30,48 @@ let bump tbl key =
 
 let get tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key)
 
-let build_with ?hierarchy ?partition g =
+let add tbl key count =
+  Hashtbl.replace tbl key (count + get tbl key)
+
+(* Reusable scratch holding a label set with the wildcard prepended, so the
+   per-relationship [Array.append [| star |] labels] allocation disappears
+   from the build loop. [with_star] returns the live length of [s.buf]. *)
+type scratch = { mutable buf : int array }
+
+let with_star s labels =
+  let n = Array.length labels + 1 in
+  if Array.length s.buf < n then
+    s.buf <- Array.make (max n (2 * Array.length s.buf)) star;
+  s.buf.(0) <- star;
+  Array.blit labels 0 s.buf 1 (Array.length labels);
+  n
+
+(* Count one shard [lo, hi) of the relationship id range into private tables.
+   Chunk boundaries depend only on (jobs, rel_count), and the merge below
+   walks shards in chunk order, so the final tables hold the same counts for
+   every [jobs] value. *)
+let count_rels g ~lo ~hi =
+  let rel_type_totals = Array.make (Graph.rel_type_count g) 0 in
+  let triples = Hashtbl.create 1024 in
+  let any_type = Hashtbl.create 256 in
+  let src_scratch = { buf = [| star |] } and dst_scratch = { buf = [| star |] } in
+  for r = lo to hi - 1 do
+    let typ = Graph.rel_type g r in
+    rel_type_totals.(typ) <- rel_type_totals.(typ) + 1;
+    let n_src = with_star src_scratch (Graph.node_labels g (Graph.rel_src g r)) in
+    let n_dst = with_star dst_scratch (Graph.node_labels g (Graph.rel_dst g r)) in
+    for i = 0 to n_src - 1 do
+      let l1 = src_scratch.buf.(i) in
+      for j = 0 to n_dst - 1 do
+        let l2 = dst_scratch.buf.(j) in
+        bump triples (l1, typ, l2);
+        bump any_type (l1, l2)
+      done
+    done
+  done;
+  (rel_type_totals, triples, any_type)
+
+let build_with ?hierarchy ?partition ?jobs g =
   let hierarchy =
     match hierarchy with Some h -> h | None -> Label_hierarchy.infer g
   in
@@ -36,22 +82,28 @@ let build_with ?hierarchy ?partition g =
     Array.init (Graph.label_count g) (fun l ->
         Array.length (Graph.nodes_with_label g l))
   in
-  let rel_type_totals = Array.make (Graph.rel_type_count g) 0 in
-  let triples = Hashtbl.create 1024 in
-  let any_type = Hashtbl.create 256 in
-  Graph.iter_rels g (fun r ->
-      let typ = Graph.rel_type g r in
-      rel_type_totals.(typ) <- rel_type_totals.(typ) + 1;
-      let src_labels = Array.append [| star |] (Graph.node_labels g (Graph.rel_src g r)) in
-      let dst_labels = Array.append [| star |] (Graph.node_labels g (Graph.rel_dst g r)) in
-      Array.iter
-        (fun l1 ->
-          Array.iter
-            (fun l2 ->
-              bump triples (l1, typ, l2);
-              bump any_type (l1, l2))
-            dst_labels)
-        src_labels);
+  let jobs = Lpp_util.Pool.resolve_jobs jobs in
+  let shards =
+    Lpp_util.Pool.parallel_chunks ~jobs ~n:(Graph.rel_count g) (fun ~lo ~hi ->
+        count_rels g ~lo ~hi)
+  in
+  let rel_type_totals, triples, any_type =
+    match shards with
+    | [ shard ] -> shard
+    | shards ->
+        let rel_type_totals = Array.make (Graph.rel_type_count g) 0 in
+        let triples = Hashtbl.create 1024 in
+        let any_type = Hashtbl.create 256 in
+        List.iter
+          (fun (rtt, tr, at) ->
+            Array.iteri
+              (fun typ c -> rel_type_totals.(typ) <- rel_type_totals.(typ) + c)
+              rtt;
+            Hashtbl.iter (fun key c -> add triples key c) tr;
+            Hashtbl.iter (fun key c -> add any_type key c) at)
+          shards;
+        (rel_type_totals, triples, any_type)
+  in
   {
     total_nodes = Graph.node_count g;
     total_rels = Graph.rel_count g;
@@ -62,10 +114,12 @@ let build_with ?hierarchy ?partition g =
     hierarchy;
     partition;
     props = Prop_stats.build g;
-    triangles = lazy (Triangle_stats.build g);
+    tri_graph = g;
+    tri_mutex = Mutex.create ();
+    tri = None;
   }
 
-let build g = build_with g
+let build ?jobs g = build_with ?jobs g
 
 let nc_star t = t.total_nodes
 
@@ -100,7 +154,17 @@ let partition t = t.partition
 
 let props t = t.props
 
-let triangles t = Lazy.force t.triangles
+let triangles t =
+  Mutex.lock t.tri_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.tri_mutex)
+    (fun () ->
+      match t.tri with
+      | Some stats -> stats
+      | None ->
+          let stats = Triangle_stats.build t.tri_graph in
+          t.tri <- Some stats;
+          stats)
 
 let nc_bytes t = Array.length t.nc * Lpp_util.Mem_size.int_entry
 
@@ -150,16 +214,16 @@ let note_rel_added t ~src_labels ~typ ~dst_labels =
   t.total_rels <- t.total_rels + 1;
   t.rel_type_totals <- ensure_capacity t.rel_type_totals (typ + 1);
   t.rel_type_totals.(typ) <- t.rel_type_totals.(typ) + 1;
-  let src = Array.append [| star |] src_labels in
-  let dst = Array.append [| star |] dst_labels in
-  Array.iter
-    (fun l1 ->
-      Array.iter
-        (fun l2 ->
-          bump t.triples (l1, typ, l2);
-          bump t.any_type (l1, l2))
-        dst)
-    src
+  let bump_pair l1 l2 =
+    bump t.triples (l1, typ, l2);
+    bump t.any_type (l1, l2)
+  in
+  let bump_src l1 =
+    bump_pair l1 star;
+    Array.iter (fun l2 -> bump_pair l1 l2) dst_labels
+  in
+  bump_src star;
+  Array.iter bump_src src_labels
 
 let memory_bytes_optional t =
   Label_hierarchy.memory_bytes t.hierarchy

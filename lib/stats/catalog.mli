@@ -16,14 +16,20 @@
 
 type t
 
-val build : Lpp_pgraph.Graph.t -> t
+val build : ?jobs:int -> Lpp_pgraph.Graph.t -> t
 (** Collect all statistics in a single pass over the graph; hierarchy and
     partition are inferred from the data (Section 4.2.1 notes schema inference
-    as the standard way to obtain them). *)
+    as the standard way to obtain them).
+
+    With [jobs > 1] (default {!Lpp_util.Pool.default_jobs}) the relationship
+    scan is sharded across domains into private tables that are merged in
+    shard order; the resulting catalog is identical to the [jobs:1] build for
+    every [jobs] value. *)
 
 val build_with :
   ?hierarchy:Label_hierarchy.t ->
   ?partition:Label_partition.t ->
+  ?jobs:int ->
   Lpp_pgraph.Graph.t ->
   t
 (** Like {!build} but with externally supplied schema information (e.g. the

@@ -1,0 +1,10 @@
+(* Monotonic wall clock. [Monotonic_clock] (shipped with bechamel, zero
+   dependencies) reads CLOCK_MONOTONIC, so measured durations are immune to
+   NTP slews and wall-clock adjustments — unlike [Unix.gettimeofday], under
+   which an interval can even come out negative. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let elapsed_ns ~since = Int64.to_float (Int64.sub (now_ns ()) since)
+
+let elapsed_s ~since = elapsed_ns ~since /. 1e9

@@ -1,0 +1,15 @@
+(** Monotonic time for measurements.
+
+    Backed by [CLOCK_MONOTONIC], so intervals are unaffected by NTP
+    adjustments or manual wall-clock changes and can never be negative. Use
+    this — never [Unix.gettimeofday] — for any measured runtime. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary fixed origin; only differences are
+    meaningful. Monotonically non-decreasing. *)
+
+val elapsed_ns : since:int64 -> float
+(** Nanoseconds elapsed since a {!now_ns} reading; always ≥ 0. *)
+
+val elapsed_s : since:int64 -> float
+(** Seconds elapsed since a {!now_ns} reading; always ≥ 0. *)

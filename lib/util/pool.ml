@@ -1,0 +1,169 @@
+(* Fixed-size domain pool over stdlib Domain/Mutex/Condition.
+
+   One global pool of worker domains is grown lazily to the largest [jobs]
+   ever requested; callers submit contiguous index chunks and block until
+   their chunks complete. While blocked, a caller *helps*: it drains tasks
+   from the shared queue (possibly tasks of other, nested calls), which makes
+   nested [parallel_chunks] invocations deadlock-free — a waiting domain can
+   never sit idle while runnable work exists.
+
+   Determinism contract: chunk boundaries depend only on [(jobs, n)], results
+   are stored by chunk index and returned in chunk order, so any
+   order-sensitive reduction performed by the caller sees the exact sequence
+   the sequential ([jobs = 1]) path produces. *)
+
+let clamp_jobs j = if j < 1 then 1 else j
+
+let override = Atomic.make None
+
+let set_default_jobs j = Atomic.set override (Some (clamp_jobs j))
+
+let env_jobs () =
+  match Sys.getenv_opt "LPP_JOBS" with
+  | None -> None
+  | Some s -> begin
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some j
+      | _ -> None
+    end
+
+let default_jobs () =
+  match Atomic.get override with
+  | Some j -> j
+  | None -> begin
+      match env_jobs () with
+      | Some j -> j
+      | None -> Domain.recommended_domain_count ()
+    end
+
+let resolve_jobs = function
+  | Some j -> clamp_jobs j
+  | None -> default_jobs ()
+
+(* ---- the shared scheduler ------------------------------------------- *)
+
+let mutex = Mutex.create ()
+
+(* Signalled on task arrival, task completion and shutdown; workers and
+   waiting callers share it and re-check their own predicate on wakeup. *)
+let cond = Condition.create ()
+
+let queue : (unit -> unit) Queue.t = Queue.create ()
+
+let stopping = ref false
+
+let workers : unit Domain.t list ref = ref []
+
+let worker_count = ref 0
+
+(* Tasks are pre-wrapped and never raise. *)
+let rec worker_loop () =
+  Mutex.lock mutex;
+  let task = ref None in
+  while !task = None && not !stopping do
+    match Queue.take_opt queue with
+    | Some t -> task := Some t
+    | None -> Condition.wait cond mutex
+  done;
+  Mutex.unlock mutex;
+  match !task with
+  | None -> ()
+  | Some t ->
+      t ();
+      worker_loop ()
+
+let ensure_workers n =
+  Mutex.lock mutex;
+  let missing = n - !worker_count in
+  if missing > 0 then begin
+    worker_count := n;
+    for _ = 1 to missing do
+      workers := Domain.spawn worker_loop :: !workers
+    done
+  end;
+  Mutex.unlock mutex
+
+(* Wake the workers and join them so process exit never races a domain that
+   is still blocked on [cond]. *)
+let shutdown () =
+  Mutex.lock mutex;
+  stopping := true;
+  Condition.broadcast cond;
+  Mutex.unlock mutex;
+  List.iter Domain.join !workers;
+  workers := [];
+  worker_count := 0;
+  Mutex.lock mutex;
+  stopping := false;
+  Mutex.unlock mutex
+
+let () = at_exit shutdown
+
+(* ---- parallel primitives -------------------------------------------- *)
+
+let parallel_chunks ?jobs ~n f =
+  if n < 0 then invalid_arg "Pool.parallel_chunks: negative n";
+  let jobs = resolve_jobs jobs in
+  let k = clamp_jobs (min jobs n) in
+  if n = 0 then []
+  else if k = 1 then [ f ~lo:0 ~hi:n ]
+  else begin
+    ensure_workers (k - 1);
+    let bound i = i * n / k in
+    let results = Array.make k None in
+    let pending = ref k in
+    let first_exn = ref None in
+    let run_chunk i () =
+      let outcome =
+        match f ~lo:(bound i) ~hi:(bound (i + 1)) with
+        | v -> Ok v
+        | exception e -> Error e
+      in
+      Mutex.lock mutex;
+      (match outcome with
+      | Ok v -> results.(i) <- Some v
+      | Error e -> if !first_exn = None then first_exn := Some e);
+      decr pending;
+      Condition.broadcast cond;
+      Mutex.unlock mutex
+    in
+    Mutex.lock mutex;
+    for i = 1 to k - 1 do
+      Queue.add (run_chunk i) queue
+    done;
+    Condition.broadcast cond;
+    Mutex.unlock mutex;
+    (* The caller computes chunk 0 itself, then helps drain the queue until
+       its own chunks are done. *)
+    run_chunk 0 ();
+    Mutex.lock mutex;
+    while !pending > 0 do
+      match Queue.take_opt queue with
+      | Some t ->
+          Mutex.unlock mutex;
+          t ();
+          Mutex.lock mutex
+      | None -> Condition.wait cond mutex
+    done;
+    Mutex.unlock mutex;
+    match !first_exn with
+    | Some e -> raise e
+    | None ->
+        Array.to_list
+          (Array.map
+             (function
+               | Some v -> v
+               | None -> assert false (* pending = 0 and no exception *))
+             results)
+  end
+
+let parallel_map_array ?jobs f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else
+    parallel_chunks ?jobs ~n (fun ~lo ~hi ->
+        Array.init (hi - lo) (fun k -> f arr.(lo + k)))
+    |> Array.concat
+
+let parallel_reduce ?jobs ~n ~chunk ~merge ~init =
+  List.fold_left merge init (parallel_chunks ?jobs ~n chunk)

@@ -1,0 +1,56 @@
+(** Multicore execution layer: a fixed-size domain pool with deterministic
+    chunked fan-out.
+
+    All entry points split an index range [\[0, n)] into at most [jobs]
+    contiguous chunks, evaluate the chunks on a shared pool of worker domains
+    (grown lazily, reused for the whole process) and return the chunk results
+    {e in chunk order}. Chunk boundaries depend only on [(jobs, n)], never on
+    scheduling, so order-sensitive reductions over the returned list are
+    deterministic and [jobs = 1] is the sequential reference path (the chunk
+    function runs inline on the caller's domain, no pool involved).
+
+    Nested calls are safe: a caller waiting for its chunks helps execute
+    queued tasks, so the pool cannot deadlock even when every worker issues
+    further parallel calls.
+
+    The chunk function must only share immutable (or externally synchronised)
+    state with other chunks; each chunk should accumulate into its own local
+    state and let the caller merge. *)
+
+val default_jobs : unit -> int
+(** The [LPP_JOBS] environment variable if set to a positive integer, else a
+    value set via {!set_default_jobs}, else [Domain.recommended_domain_count]. *)
+
+val set_default_jobs : int -> unit
+(** Process-wide override (clamped to ≥ 1) taking precedence over [LPP_JOBS];
+    used by command-line [--jobs] flags. *)
+
+val resolve_jobs : int option -> int
+(** [resolve_jobs (Some j)] is [max 1 j]; [resolve_jobs None] is
+    {!default_jobs}[ ()]. The idiom for [?jobs] parameters. *)
+
+val parallel_chunks :
+  ?jobs:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a list
+(** [parallel_chunks ~jobs ~n f] evaluates [f ~lo ~hi] over a partition of
+    [\[0, n)] into [min jobs n] contiguous chunks and returns the results in
+    ascending chunk order. Returns [[]] for [n = 0]. If any chunk raises, the
+    first exception observed is re-raised after all chunks finished. *)
+
+val parallel_map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map: [parallel_map_array f a] equals
+    [Array.map f a] whenever [f] is pure. *)
+
+val parallel_reduce :
+  ?jobs:int ->
+  n:int ->
+  chunk:(lo:int -> hi:int -> 'a) ->
+  merge:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a
+(** Deterministic ordered-merge reducer:
+    [fold_left merge init] over the chunk results in ascending chunk order,
+    i.e. identical to the sequential left fold for associative [merge]. *)
+
+val shutdown : unit -> unit
+(** Stop and join all worker domains (the pool restarts lazily on the next
+    parallel call). Registered with [at_exit]; rarely needed directly. *)

@@ -266,37 +266,58 @@ let generalize rng g flavour (s : sampled) =
 (* Step 4: ground truth + stratified sampling                            *)
 (* -------------------------------------------------------------------- *)
 
-let generate rng (ds : Lpp_datasets.Dataset.t) spec =
+(* Candidates are drawn in batches: sampling and generalisation consume the
+   caller's RNG sequentially (so the random stream is identical for every
+   [jobs] value), then the expensive ground-truth counts of one batch run
+   across domains. The batch size is a constant — independent of [jobs] — and
+   the early-stop condition is checked between batches, so with the default
+   spec ([attempts = 4 × target], where the old per-attempt check could never
+   fire) the generated query set is identical to the sequential generator. *)
+let truth_batch = 32
+
+let generate ?jobs rng (ds : Lpp_datasets.Dataset.t) spec =
   let g = ds.graph in
   let candidates = ref [] in
   let n_candidates = ref 0 in
-  let attempt () =
+  let sample_attempt () =
     match sample_subgraph rng g ~max_nodes:spec.max_nodes with
-    | None -> ()
+    | None -> None
     | Some s -> begin
         match generalize rng g spec.flavour s with
-        | exception Invalid_argument _ -> ()
-        | pattern -> begin
-            match
-              Lpp_exec.Matcher.count ~budget:spec.truth_budget g pattern
-            with
-            | Lpp_exec.Matcher.Budget_exceeded -> ()
-            | Count c when c <= 0 ->
-                (* cannot happen for anchored queries; skip defensively *)
-                ()
-            | Count c ->
-                incr n_candidates;
-                candidates :=
-                  ( Shape.classify pattern,
-                    Pattern.size pattern,
-                    pattern,
-                    c )
-                  :: !candidates
-          end
+        | exception Invalid_argument _ -> None
+        | pattern -> Some pattern
       end
   in
-  for _ = 1 to spec.attempts do
-    if !n_candidates < 4 * spec.target then attempt ()
+  let truth_of = function
+    | None -> None
+    | Some pattern -> begin
+        match
+          Lpp_exec.Matcher.count ~jobs:1 ~budget:spec.truth_budget g pattern
+        with
+        | Lpp_exec.Matcher.Budget_exceeded -> None
+        | Count c when c <= 0 ->
+            (* cannot happen for anchored queries; skip defensively *)
+            None
+        | Count c -> Some (pattern, c)
+      end
+  in
+  let remaining = ref spec.attempts in
+  while !remaining > 0 && !n_candidates < 4 * spec.target do
+    let k = min truth_batch !remaining in
+    remaining := !remaining - k;
+    let patterns = Array.make k None in
+    for i = 0 to k - 1 do
+      patterns.(i) <- sample_attempt ()
+    done;
+    Array.iter
+      (function
+        | None -> ()
+        | Some (pattern, c) ->
+            incr n_candidates;
+            candidates :=
+              (Shape.classify pattern, Pattern.size pattern, pattern, c)
+              :: !candidates)
+      (Lpp_util.Pool.parallel_map_array ?jobs truth_of patterns)
   done;
   (* stratified sampling over (coarse shape, size bucket) *)
   let strata : (string, (Shape.t * int * Pattern.t * int) Queue.t) Hashtbl.t =

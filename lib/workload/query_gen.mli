@@ -39,9 +39,14 @@ val default_spec : flavour -> spec
 (** target 120, max_nodes 7, truth_budget 30M, attempts = 4 × target. *)
 
 val generate :
-  Lpp_util.Rng.t -> Lpp_datasets.Dataset.t -> spec -> query list
+  ?jobs:int -> Lpp_util.Rng.t -> Lpp_datasets.Dataset.t -> spec -> query list
 (** Stratified by (coarse shape, size bucket); queries come out id-numbered in
-    generation order. *)
+    generation order.
+
+    Sampling consumes [rng] sequentially; only the per-candidate ground-truth
+    counts are spread across [jobs] domains (default
+    {!Lpp_util.Pool.default_jobs}) in fixed-size batches, so the generated
+    query set is the same for every [jobs] value. *)
 
 val size_bucket : int -> string
 (** Buckets used by Figure 7: "2-4", "5-6", "7-8", "9+". *)

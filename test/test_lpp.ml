@@ -20,4 +20,5 @@ let () =
       ("graph_io", Test_graph_io.suite);
       ("formulas", Test_formulas.suite);
       ("properties", Test_properties.suite);
+      ("parallel", Test_parallel.suite);
     ]
