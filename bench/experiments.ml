@@ -629,4 +629,7 @@ let all : (string * string * (Env.t -> unit)) list =
     ("ext-tri", "extension: triangle statistics ablation", ext_triangles);
     ("ext-varlen", "extension: variable-length paths", ext_varlen);
     ("parallel", "multicore scaling of ground truth / catalog / runner", parallel_bench);
+    ( "throughput",
+      "estimator throughput before/after Catalog.freeze + sessions",
+      Throughput.run );
   ]

@@ -1,0 +1,4 @@
+(* Runs from the [runtest] alias: one tiny throughput iteration per estimator
+   configuration, so a plain [dune runtest] exercises the frozen catalog and
+   session hot path and its bit-identity with the unfrozen path. *)
+let () = Throughput.smoke ()

@@ -1,0 +1,257 @@
+(* Estimator throughput (estimates/sec) per configuration × dataset, before
+   and after the frozen read path — the numbers behind
+   BENCH_estimator_throughput.json.
+
+   "Before" is the genuine pre-rewrite path, vendored verbatim in
+   [Legacy]: the hashtable-backed catalog queried through the old one-shot
+   estimator (hashtable Label_probs, per-estimate allocation, list-based
+   representatives). "After" freezes the catalog ([Catalog.freeze]) and
+   reuses one [Estimator.make] session per configuration, so the hot path is
+   flat-array reads and preallocated scratch. Both phases run the identical
+   pre-planned workload at jobs = 1; Bechamel's OLS fit over whole-workload
+   passes gives ns/pass, reported as estimates/sec. Estimates must be
+   bit-identical between the two paths — any mismatch aborts the
+   experiment. *)
+
+open Bechamel
+open Toolkit
+
+let fi = float_of_int
+
+type cell = {
+  ds_name : string;
+  config : Lpp_core.Config.t;
+  cfg_name : string;
+  catalog : Lpp_stats.Catalog.t;
+  algs : Lpp_pattern.Algebra.t array;
+}
+
+let make_cells (env : Env.t) =
+  List.concat_map
+    (fun (ds : Lpp_datasets.Dataset.t) ->
+      (* plan once: the comparison is estimator-only, not planner *)
+      let algs =
+        Env.queries env ~with_props:true ds.name
+        |> List.map (fun (q : Lpp_workload.Query_gen.query) ->
+               Lpp_pattern.Planner.plan q.pattern)
+        |> Array.of_list
+      in
+      List.map
+        (fun config ->
+          {
+            ds_name = ds.name;
+            config;
+            cfg_name = Lpp_core.Config.name config;
+            catalog = ds.catalog;
+            algs;
+          })
+        Lpp_core.Config.all)
+    env.datasets
+
+let cell_key c = Printf.sprintf "%s/%s" c.ds_name c.cfg_name
+
+let pass_oneshot c () =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun alg -> acc := !acc +. Legacy.estimate c.config c.catalog alg)
+    c.algs;
+  !acc
+
+let pass_session session c () =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun alg -> acc := !acc +. Lpp_core.Estimator.session_estimate session alg)
+    c.algs;
+  !acc
+
+(* ns per workload pass for each named test, via Bechamel's OLS fit. *)
+let measure_ns ~phase tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let grouped = Test.make_grouped ~name:phase ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    Analyze.merge ols instances
+      (List.map (fun instance -> Analyze.all ols instance raw) instances)
+  in
+  let ns = Hashtbl.create 64 in
+  (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> ()
+  | Some per_name ->
+      let prefix = phase ^ " " in
+      let plen = String.length prefix in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) ->
+              let key =
+                if String.length name > plen && String.sub name 0 plen = prefix
+                then String.sub name plen (String.length name - plen)
+                else name
+              in
+              Hashtbl.replace ns key est
+          | _ -> ())
+        per_name);
+  ns
+
+let assert_bit_identical c ~reference ~got ~path =
+  Array.iteri
+    (fun i v ->
+      if Int64.bits_of_float v <> Int64.bits_of_float reference.(i) then
+        failwith
+          (Printf.sprintf
+             "throughput: %s query %d: %s path %h <> pre-rewrite one-shot %h"
+             (cell_key c) i path v reference.(i)))
+    got
+
+let run (env : Env.t) =
+  let cells = make_cells env in
+  List.iter
+    (fun c -> assert (not (Lpp_stats.Catalog.is_frozen c.catalog)))
+    cells;
+  (* reference estimates: unfrozen catalog, pre-rewrite one-shot estimator *)
+  let reference =
+    List.map
+      (fun c -> Array.map (Legacy.estimate c.config c.catalog) c.algs)
+      cells
+  in
+  let before_tests =
+    List.map
+      (fun c -> Test.make ~name:(cell_key c) (Staged.stage (pass_oneshot c)))
+      cells
+  in
+  Printf.printf "[throughput] measuring pre-rewrite one-shot path…\n%!";
+  let before_ns = measure_ns ~phase:"before" before_tests in
+  List.iter
+    (fun (ds : Lpp_datasets.Dataset.t) -> Lpp_stats.Catalog.freeze ds.catalog)
+    env.datasets;
+  let sessions =
+    List.map (fun c -> Lpp_core.Estimator.make c.config c.catalog) cells
+  in
+  List.iter2
+    (fun (c, session) ref_ests ->
+      assert_bit_identical c ~reference:ref_ests ~path:"frozen session"
+        ~got:(Array.map (Lpp_core.Estimator.session_estimate session) c.algs))
+    (List.combine cells sessions)
+    reference;
+  Printf.printf
+    "[throughput] all frozen-path estimates bit-identical; measuring frozen \
+     session path…\n\
+     %!";
+  let after_tests =
+    List.map2
+      (fun c session ->
+        Test.make ~name:(cell_key c) (Staged.stage (pass_session session c)))
+      cells sessions
+  in
+  let after_ns = measure_ns ~phase:"after" after_tests in
+  let table =
+    Lpp_util.Ascii_table.create
+      [ "dataset/config"; "queries"; "before est/s"; "after est/s"; "speedup" ]
+  in
+  let best = ref 0.0 in
+  let rows =
+    List.map
+      (fun c ->
+        let key = cell_key c in
+        let n = Array.length c.algs in
+        let b_ns = Option.value ~default:nan (Hashtbl.find_opt before_ns key) in
+        let a_ns = Option.value ~default:nan (Hashtbl.find_opt after_ns key) in
+        let eps ns = fi n *. 1e9 /. ns in
+        let speedup = b_ns /. a_ns in
+        if speedup > !best then best := speedup;
+        Lpp_util.Ascii_table.add_row table
+          [
+            key;
+            string_of_int n;
+            Printf.sprintf "%.0f" (eps b_ns);
+            Printf.sprintf "%.0f" (eps a_ns);
+            Printf.sprintf "%.2fx" speedup;
+          ];
+        Printf.sprintf
+          "    { \"dataset\": %S, \"config\": %S, \"queries\": %d, \
+           \"before_ns_per_pass\": %.0f, \"after_ns_per_pass\": %.0f, \
+           \"before_estimates_per_sec\": %.1f, \"after_estimates_per_sec\": \
+           %.1f, \"speedup\": %.3f, \"bit_identical\": true }"
+          c.ds_name c.cfg_name n b_ns a_ns (eps b_ns) (eps a_ns) speedup)
+      cells
+  in
+  Lpp_util.Ascii_table.print
+    ~title:
+      "Estimator throughput: pre-rewrite one-shot vs frozen session (jobs = 1)"
+    table;
+  Printf.printf "[throughput] best speedup: %.2fx\n" !best;
+  let oc = open_out "BENCH_estimator_throughput.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scale\": %S,\n\
+    \  \"seed\": %d,\n\
+    \  \"jobs\": 1,\n\
+    \  \"host_domains\": %d,\n\
+    \  \"best_speedup\": %.3f,\n\
+    \  \"results\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (match env.scale with Env.Quick -> "quick" | Env.Default -> "default")
+    env.seed
+    (Domain.recommended_domain_count ())
+    !best
+    (String.concat ",\n" rows);
+  close_out oc;
+  Printf.printf "[throughput] wrote BENCH_estimator_throughput.json\n%!"
+
+(* One tiny throughput iteration per configuration, fast enough for [dune
+   runtest]: checks the freeze + session path end-to-end and that it agrees
+   bit-for-bit with the unfrozen one-shot path. *)
+let smoke () =
+  let ds = Lpp_datasets.Snb_gen.generate ~persons:30 ~seed:5 () in
+  let rng = Lpp_util.Rng.create 9 in
+  let spec =
+    { (Lpp_workload.Query_gen.default_spec With_props) with
+      target = 5;
+      attempts = 40;
+      truth_budget = 300_000;
+    }
+  in
+  let algs =
+    Lpp_workload.Query_gen.generate rng ds spec
+    |> List.map (fun (q : Lpp_workload.Query_gen.query) ->
+           Lpp_pattern.Planner.plan q.pattern)
+    |> Array.of_list
+  in
+  if Array.length algs = 0 then failwith "throughput smoke: no queries";
+  let reference =
+    List.map
+      (fun config ->
+        Array.map (Lpp_core.Estimator.estimate config ds.catalog) algs)
+      Lpp_core.Config.all
+  in
+  Lpp_stats.Catalog.freeze ds.catalog;
+  List.iter2
+    (fun config ref_ests ->
+      let session = Lpp_core.Estimator.make config ds.catalog in
+      let t0 = Lpp_util.Clock.now_ns () in
+      let got = Array.map (Lpp_core.Estimator.session_estimate session) algs in
+      let ns = Lpp_util.Clock.elapsed_ns ~since:t0 in
+      Array.iteri
+        (fun i v ->
+          if Int64.bits_of_float v <> Int64.bits_of_float ref_ests.(i) then
+            failwith
+              (Printf.sprintf
+                 "throughput smoke: %s query %d: frozen %h <> unfrozen %h"
+                 (Lpp_core.Config.name config)
+                 i v ref_ests.(i)))
+        got;
+      Printf.printf
+        "[smoke] %-9s %d estimates in %7.0f ns (frozen session), \
+         bit-identical to unfrozen\n"
+        (Lpp_core.Config.name config)
+        (Array.length algs) ns)
+    Lpp_core.Config.all reference;
+  print_endline "[smoke] throughput smoke passed"

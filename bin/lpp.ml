@@ -105,6 +105,7 @@ let cmd_estimate =
     set_jobs jobs;
     let ds = dataset_of_name name ~seed in
     let qs = gen_workload ds ~seed ~n ~props in
+    Lpp_stats.Catalog.freeze ds.catalog;
     let techs = Lpp_harness.Technique.our_configurations ds in
     let t =
       Lpp_util.Ascii_table.create
@@ -191,6 +192,12 @@ let cmd_query =
   let run jobs name seed queries =
     set_jobs jobs;
     let ds = dataset_of_name name ~seed in
+    Lpp_stats.Catalog.freeze ds.catalog;
+    let sessions =
+      List.map
+        (fun config -> (config, Lpp_core.Estimator.make config ds.catalog))
+        (Lpp_core.Config.all @ [ Lpp_core.Config.a_lhdt ])
+    in
     List.iter
       (fun q ->
         match Lpp_pattern.Parse.parse ds.graph q with
@@ -209,11 +216,11 @@ let cmd_query =
             Printf.printf "  operator sequence: %s\n"
               (Format.asprintf "%a" Lpp_pattern.Algebra.pp alg);
             List.iter
-              (fun config ->
+              (fun (config, session) ->
                 Printf.printf "  %-10s %.2f\n"
                   (Lpp_core.Config.name config)
-                  (Lpp_core.Estimator.estimate config ds.catalog alg))
-              (Lpp_core.Config.all @ [ Lpp_core.Config.a_lhdt ]))
+                  (Lpp_core.Estimator.session_estimate session alg))
+              sessions)
       queries
   in
   let queries =

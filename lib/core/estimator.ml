@@ -2,22 +2,52 @@ open Lpp_pgraph
 open Lpp_pattern
 open Lpp_stats
 
-type state = {
+(* A session bundles the resolved configuration with every piece of mutable
+   state an estimate needs, so a workload amortises all allocation: the label
+   probability matrix, the representative/ordering scratch arrays, and the
+   per-estimate degree-vector cache are created once in [make] and reset by
+   [begin_estimate]. One session serves one domain; concurrent use from
+   several domains needs one session each (see Lpp_harness.Technique). *)
+
+type deg_entry = {
+  de_dir : Direction.t;
+  de_types : int array;
+  de_degs : float array;
+      (* index 0 = wildcard [*], l+1 = label l; NaN marks a slot not yet
+         computed — degrees are filled lazily because an Expand only touches
+         the representative labels plus whatever the source update needs *)
+}
+
+type session = {
   config : Config.t;
   catalog : Catalog.t;
   hierarchy : Label_hierarchy.t;  (* trivial when H_L is switched off *)
   partition : Label_partition.t;  (* trivial when D_L is switched off *)
   probs : Label_probs.t;
-  rel_var_types : int array array;  (* rel var -> allowed types from Expand *)
+  labels : int;
+  mutable rel_var_types : int array array;  (* rel var -> allowed types *)
   mutable card : float;
   mutable last_expand_factor : float;
       (* multiplier applied by the most recent Expand, for the triangle-aware
          MergeOn which re-bases the closing estimate on the wedge count *)
   mutable last_expand_dir : Direction.t;
+  (* ---- reusable scratch, valid only within one operator application ---- *)
+  pos_buf : int array;  (* positive_labels target *)
+  ord_buf : int array;  (* one cluster's labels, ranked *)
+  ord_p : float array;  (* ranking keys, parallel to ord_buf *)
+  ord_d : float array;
+  repr_labels : int array;  (* representatives across all clusters *)
+  repr_probs : float array;
+  varlen_cur : float array;  (* hop-mixing state for variable-length paths *)
+  varlen_mix : float array;
+  rc_row_buf : int array;  (* one Catalog.rc_row result *)
+  tp_buf : float array;  (* the advanced target-probability numerators *)
+  mutable deg_entries : deg_entry list;  (* per-(dir, types) cache *)
 }
 
-let make_state config catalog (alg : Algebra.t) =
+let make config catalog =
   let labels = Catalog.label_count catalog in
+  let n = max labels 1 in
   {
     config;
     catalog;
@@ -27,12 +57,37 @@ let make_state config catalog (alg : Algebra.t) =
     partition =
       (if config.Config.use_partition then Catalog.partition catalog
        else Label_partition.trivial labels);
-    probs = Label_probs.create ~labels;
-    rel_var_types = Array.make (max alg.rel_vars 1) [||];
+    probs = Label_probs.create ~labels ();
+    labels;
+    rel_var_types = Array.make 8 [||];
     card = 0.0;
     last_expand_factor = 1.0;
     last_expand_dir = Direction.Out;
+    pos_buf = Array.make n 0;
+    ord_buf = Array.make n 0;
+    ord_p = Array.make n 0.0;
+    ord_d = Array.make n 0.0;
+    repr_labels = Array.make n 0;
+    repr_probs = Array.make n 0.0;
+    varlen_cur = Array.make labels 0.0;
+    varlen_mix = Array.make labels 0.0;
+    rc_row_buf = Array.make labels 0;
+    tp_buf = Array.make labels 0.0;
+    deg_entries = [];
   }
+
+let begin_estimate st (alg : Algebra.t) =
+  Label_probs.reset st.probs;
+  if Array.length st.rel_var_types < alg.rel_vars then
+    st.rel_var_types <-
+      Array.make (max alg.rel_vars (2 * Array.length st.rel_var_types)) [||]
+  else Array.fill st.rel_var_types 0 (Array.length st.rel_var_types) [||];
+  st.card <- 0.0;
+  st.last_expand_factor <- 1.0;
+  st.last_expand_dir <- Direction.Out;
+  (* the cache keys counts off the catalog, which may be mutated between
+     estimates (note_* on an unfrozen catalog) — valid for one estimate only *)
+  st.deg_entries <- []
 
 let fi = float_of_int
 
@@ -87,24 +142,38 @@ let apply_label_selection st ~var ~label =
 (* PropertySelection (Section 5.3)                                     *)
 (* ------------------------------------------------------------------ *)
 
-let node_prop_owners st ~var =
-  match Label_probs.positive_labels st.probs ~var with
-  | [] -> [ Prop_stats.Any_node ]
-  | labels -> List.map (fun l -> Prop_stats.Node_label l) labels
-
-let rel_prop_owners st ~rvar =
-  match Array.to_list st.rel_var_types.(rvar) with
-  | [] -> [ Prop_stats.Any_rel ]
-  | types -> List.map (fun t -> Prop_stats.Rel_type t) types
-
-let avg_selectivity st owners (key, pred) =
+(* sel averaged over the owners of Section 5.3's set L': the positive-prob
+   labels of a node variable (in st.pos_buf, [n] of them; none = Any_node)
+   or the allowed types of a relationship variable (none = Any_rel). *)
+let avg_node_selectivity st ~n (key, pred) =
   let stats = Catalog.props st.catalog in
-  let sum =
-    List.fold_left
-      (fun acc owner -> acc +. Prop_stats.selectivity stats owner ~key pred)
-      0.0 owners
-  in
-  safe_div sum (fi (List.length owners))
+  if n = 0 then Prop_stats.selectivity stats Prop_stats.Any_node ~key pred
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to n - 1 do
+      sum :=
+        !sum
+        +. Prop_stats.selectivity stats
+             (Prop_stats.Node_label st.pos_buf.(i))
+             ~key pred
+    done;
+    safe_div !sum (fi n)
+  end
+
+let avg_rel_selectivity st ~rvar (key, pred) =
+  let stats = Catalog.props st.catalog in
+  let types = st.rel_var_types.(rvar) in
+  let n = Array.length types in
+  if n = 0 then Prop_stats.selectivity stats Prop_stats.Any_rel ~key pred
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to n - 1 do
+      sum :=
+        !sum
+        +. Prop_stats.selectivity stats (Prop_stats.Rel_type types.(i)) ~key pred
+    done;
+    safe_div !sum (fi n)
+  end
 
 let apply_prop_selection st ~kind ~var ~props =
   match st.config.Config.property_mode with
@@ -113,15 +182,18 @@ let apply_prop_selection st ~kind ~var ~props =
          assumed fully correlated, so min over them is still [f]. *)
       st.card <- st.card *. f
   | Config.Use_stats -> begin
-      let owners =
-        match (kind : Algebra.var_kind) with
-        | Node_var -> node_prop_owners st ~var
-        | Rel_var -> rel_prop_owners st ~rvar:var
-      in
       let overall =
-        Array.fold_left
-          (fun acc pred -> Float.min acc (avg_selectivity st owners pred))
-          1.0 props
+        match (kind : Algebra.var_kind) with
+        | Node_var ->
+            let n = Label_probs.positive_labels st.probs ~var ~buf:st.pos_buf in
+            Array.fold_left
+              (fun acc pred -> Float.min acc (avg_node_selectivity st ~n pred))
+              1.0 props
+        | Rel_var ->
+            Array.fold_left
+              (fun acc pred ->
+                Float.min acc (avg_rel_selectivity st ~rvar:var pred))
+              1.0 props
       in
       st.card <- st.card *. overall;
       match kind with
@@ -150,70 +222,99 @@ let apply_prop_selection st ~kind ~var ~props =
 (* Representative labels (shared by Expand and MergeOn, Sections 5.4/5.5) *)
 (* ------------------------------------------------------------------ *)
 
-(* Order the labels of one partition cluster: representative labels are those
-   that cover most of the nodes matched by v (probability descending) and
-   whose extent size is closest to the current result cardinality |R|
-   (Section 5.4's ordering criterion). After a LabelSelection this ranks the
-   selected label first, so its degree statistics dominate the Expand. *)
-let order_cluster st ~prob cluster =
+(* Order the labels of one partition cluster into st.ord_buf[0..n-1] and
+   return n: representative labels are those that cover most of the nodes
+   matched by v (probability descending) and whose extent size is closest to
+   the current result cardinality |R| (Section 5.4's ordering criterion).
+   After a LabelSelection this ranks the selected label first, so its degree
+   statistics dominate the Expand. The insertion sort is stable, matching the
+   List.sort-based ranking this replaced (clusters are ascending, so full
+   ties stay in label order). *)
+let order_cluster_into st ~prob cluster =
   let card = Float.max st.card 0.0 in
-  let scored =
-    Array.to_list cluster
-    |> List.filter_map (fun l ->
-           let p = prob l in
-           if p <= 0.0 then None
-           else Some (l, p, Float.abs (fi (Catalog.nc st.catalog l) -. card)))
-  in
-  List.sort
-    (fun (_, p1, d1) (_, p2, d2) ->
-      match Float.compare p2 p1 with
-      | 0 -> Float.compare d1 d2
-      | c -> c)
-    scored
-  |> List.map (fun (l, _, _) -> l)
+  let n = ref 0 in
+  Array.iter
+    (fun l ->
+      let p = prob l in
+      if p > 0.0 then begin
+        let d = Float.abs (fi (Catalog.nc st.catalog l) -. card) in
+        let i = ref !n in
+        while
+          !i > 0
+          && (st.ord_p.(!i - 1) < p
+             || (st.ord_p.(!i - 1) = p && st.ord_d.(!i - 1) > d))
+        do
+          st.ord_buf.(!i) <- st.ord_buf.(!i - 1);
+          st.ord_p.(!i) <- st.ord_p.(!i - 1);
+          st.ord_d.(!i) <- st.ord_d.(!i - 1);
+          decr i
+        done;
+        st.ord_buf.(!i) <- l;
+        st.ord_p.(!i) <- p;
+        st.ord_d.(!i) <- d;
+        incr n
+      end)
+    cluster;
+  !n
 
-(* P(v has ℓⱼ and none of the previously ranked labels), Equations 5–6. *)
-let repr_prob st ~prob ~before lj =
+(* P(v has ℓⱼ and none of the previously ranked labels), Equations 5–6. The
+   previously ranked labels are st.ord_buf[0..len-1]; negation factors are
+   multiplied most-recently-ranked first over the hierarchy-maximal ones,
+   reproducing the exact float-product order of the list-based code. *)
+let repr_prob st ~prob ~len lj =
   let p_lj = prob lj in
   if p_lj <= 0.0 then 0.0
-  else if
-    List.exists (fun l' -> Label_hierarchy.is_strict_sublabel st.hierarchy lj l') before
-  then 0.0 (* ℓⱼ implies a negated superlabel *)
   else begin
-    let maximal = Label_hierarchy.maximal_among st.hierarchy before in
-    List.fold_left
-      (fun acc l' ->
-        let factor =
-          if Label_hierarchy.is_strict_sublabel st.hierarchy l' lj then
-            (* exact under the hierarchy: P(ℓⱼ ∧ ¬ℓ') = P(ℓⱼ) − P(ℓ') *)
-            clamp01 (1.0 -. safe_div (prob l') p_lj)
-          else clamp01 (1.0 -. prob l')
-        in
-        acc *. factor)
-      p_lj maximal
+    let implies_negated = ref false in
+    for a = 0 to len - 1 do
+      if Label_hierarchy.is_strict_sublabel st.hierarchy lj st.ord_buf.(a) then
+        implies_negated := true
+    done;
+    if !implies_negated then 0.0 (* ℓⱼ implies a negated superlabel *)
+    else begin
+      let acc = ref p_lj in
+      for a = len - 1 downto 0 do
+        let l' = st.ord_buf.(a) in
+        let has_superlabel = ref false in
+        for b = 0 to len - 1 do
+          if Label_hierarchy.is_strict_sublabel st.hierarchy l' st.ord_buf.(b)
+          then has_superlabel := true
+        done;
+        if not !has_superlabel then begin
+          let factor =
+            if Label_hierarchy.is_strict_sublabel st.hierarchy l' lj then
+              (* exact under the hierarchy: P(ℓⱼ ∧ ¬ℓ') = P(ℓⱼ) − P(ℓ') *)
+              clamp01 (1.0 -. safe_div (prob l') p_lj)
+            else clamp01 (1.0 -. prob l')
+          in
+          acc := !acc *. factor
+        end
+      done;
+      !acc
+    end
   end
 
-(* All (label, repr-probability) pairs across the partition, plus the label
-   coverage (probability that the node carries at least one label). *)
-let representatives st ~prob =
-  let reprs = ref [] in
+(* All (label, repr-probability) pairs across the partition — written into
+   st.repr_labels/st.repr_probs, count returned — plus the label coverage
+   (probability that the node carries at least one label). *)
+let representatives_into st ~prob =
+  let count = ref 0 in
   let coverage = ref 0.0 in
   Array.iter
     (fun cluster ->
-      let ordered = order_cluster st ~prob cluster in
-      let rec go before = function
-        | [] -> ()
-        | lj :: rest ->
-            let p = repr_prob st ~prob ~before lj in
-            if p > 0.0 then begin
-              reprs := (lj, p) :: !reprs;
-              coverage := !coverage +. p
-            end;
-            go (lj :: before) rest
-      in
-      go [] ordered)
+      let n = order_cluster_into st ~prob cluster in
+      for j = 0 to n - 1 do
+        let lj = st.ord_buf.(j) in
+        let p = repr_prob st ~prob ~len:j lj in
+        if p > 0.0 then begin
+          st.repr_labels.(!count) <- lj;
+          st.repr_probs.(!count) <- p;
+          incr count;
+          coverage := !coverage +. p
+        end
+      done)
     (Label_partition.clusters st.partition);
-  (List.rev !reprs, clamp01 !coverage)
+  (!count, clamp01 !coverage)
 
 (* ------------------------------------------------------------------ *)
 (* Expand (Section 5.4)                                                *)
@@ -228,37 +329,100 @@ let degree st ~dir ~types ~node ~other =
   in
   safe_div (fi count) (fi base)
 
+let types_equal a b =
+  a == b
+  || (Array.length a = Array.length b
+     && begin
+          let i = ref 0 in
+          while !i < Array.length a && a.(!i) = b.(!i) do
+            incr i
+          done;
+          !i = Array.length a
+        end)
+
+(* The unrestricted degree vector of one (dir, types) pair, cached for the
+   rest of the estimate: repeated Expands over the same type set (chains,
+   stars, variable-length hops) reuse it instead of recomputing deg_of for
+   every label. Restricted degrees (~other) are not cached — they are touched
+   once per (repr, target) pair within a single Expand. *)
+let deg_vector st ~dir ~types =
+  match
+    List.find_opt
+      (fun e -> e.de_dir = dir && types_equal e.de_types types)
+      st.deg_entries
+  with
+  | Some e -> e.de_degs
+  | None ->
+      let degs = Array.make (st.labels + 1) Float.nan in
+      st.deg_entries <-
+        { de_dir = dir; de_types = Array.copy types; de_degs = degs }
+        :: st.deg_entries;
+      degs
+
+let cached_deg st degs ~dir ~types node =
+  let idx = match node with None -> 0 | Some l -> l + 1 in
+  let v = degs.(idx) in
+  if v = v then v (* filled: degrees are never NaN *)
+  else begin
+    let d = degree st ~dir ~types ~node ~other:None in
+    degs.(idx) <- d;
+    d
+  end
+
 (* One hop of expansion from a population described by [prob] (per-label
-   probabilities). Returns the expansion factor and the per-label
-   probabilities of the hop's endpoints. *)
+   probabilities). Returns the expansion factor, the per-label probabilities
+   of the hop's endpoints, and the (cached) unrestricted degree function. *)
 let expand_step st ~types ~dir ~prob =
-  let reprs, coverage = representatives st ~prob in
+  let repr_count, coverage = representatives_into st ~prob in
   let p_unlabeled = clamp01 (1.0 -. coverage) in
-  let deg_of ?other l = degree st ~dir ~types ~node:(Some l) ~other in
-  let deg_star ?other () = degree st ~dir ~types ~node:None ~other in
+  let degs = deg_vector st ~dir ~types in
+  let deg_of l = cached_deg st degs ~dir ~types (Some l) in
+  let deg_star () = cached_deg st degs ~dir ~types None in
   let expansion =
-    List.fold_left (fun acc (l, p) -> acc +. (p *. deg_of l)) 0.0 reprs
-    +. (p_unlabeled *. deg_star ())
+    let acc = ref 0.0 in
+    for i = 0 to repr_count - 1 do
+      acc := !acc +. (st.repr_probs.(i) *. deg_of st.repr_labels.(i))
+    done;
+    !acc +. (p_unlabeled *. deg_star ())
   in
   let target_prob =
-    if st.config.Config.advanced_rc then fun l' ->
-      let restricted =
-        List.fold_left
-          (fun acc (l, p) -> acc +. (p *. deg_of ~other:l' l))
-          0.0 reprs
-        +. (p_unlabeled *. deg_star ~other:l' ())
-      in
-      safe_div restricted expansion
+    if st.config.Config.advanced_rc then begin
+      (* Whole-row formulation: fetch each representative's restricted
+         relationship counts as one [Catalog.rc_row] sweep and accumulate the
+         probability-weighted degrees into [tp_buf] slot by slot. Per target
+         label the additions run in the same order as the former
+         per-ℓ' fold over representatives (then the unlabeled term), so the
+         floats are bit-identical — only the count lookups are batched. *)
+      let row = st.rc_row_buf and tp = st.tp_buf in
+      Array.fill tp 0 st.labels 0.0;
+      for i = 0 to repr_count - 1 do
+        let l = st.repr_labels.(i) and p = st.repr_probs.(i) in
+        Catalog.rc_row st.catalog ~dir ~node:(Some l) ~types ~row;
+        let base = fi (Catalog.nc st.catalog l) in
+        for l' = 0 to st.labels - 1 do
+          tp.(l') <- tp.(l') +. (p *. safe_div (fi row.(l')) base)
+        done
+      done;
+      Catalog.rc_row st.catalog ~dir ~node:None ~types ~row;
+      let base = fi (Catalog.nc_star st.catalog) in
+      for l' = 0 to st.labels - 1 do
+        tp.(l') <- tp.(l') +. (p_unlabeled *. safe_div (fi row.(l')) base)
+      done;
+      (* reads the tp scratch: consume before the next Expand *)
+      fun l' -> safe_div tp.(l') expansion
+    end
     else begin
       (* Simple statistics: the share of qualifying relationship endpoints
-         carrying ℓ', from reversed pair counts. *)
+         carrying ℓ', from reversed pair counts. [simple_rc ~dir:rev
+         ~node:(Some l')] equals [rc ~dir ~node:None ~other:(Some l')] —
+         swapping which endpoint is "the node" mirrors the direction — so the
+         whole numerator row is one [rc_row] sweep. *)
       let rev = Direction.reverse dir in
       let total = Catalog.simple_rc st.catalog ~dir:rev ~node:None ~types in
-      fun l' ->
-        let into =
-          Catalog.simple_rc st.catalog ~dir:rev ~node:(Some l') ~types
-        in
-        safe_div (fi into) (fi total)
+      let row = st.rc_row_buf in
+      Catalog.rc_row st.catalog ~dir ~node:None ~types ~row;
+      (* reads the row scratch: consume before the next Expand *)
+      fun l' -> safe_div (fi row.(l')) (fi total)
     end
   in
   (expansion, target_prob, deg_of)
@@ -276,18 +440,21 @@ let apply_expand st ~src_var ~rel_var ~dst_var ~types ~dir ~hops =
       (* Updated probabilities for the source variable: high-degree nodes are
          over-represented after expansion (Section 5.4, final equation). *)
       Label_probs.update_all st.probs ~var:src_var ~f:(fun l p ->
-          safe_div (p *. deg_of l) expansion)
+          if p <= 0.0 then 0.0 else safe_div (p *. deg_of l) expansion)
   | Some (lo, hi) ->
       (* Variable-length path (the paper's future-work extension): iterate the
          one-hop step, summing the path-count factors of every admissible
          length and mixing the endpoint label distributions by their weight.
          Hop-level edge isomorphism is ignored by the estimate (repeated
          relationships are a vanishing fraction on realistic graphs). *)
-      let labels = Catalog.label_count st.catalog in
-      let cur = Array.init labels src_prob in
+      let labels = st.labels in
+      let cur = st.varlen_cur and mix = st.varlen_mix in
+      for l = 0 to labels - 1 do
+        cur.(l) <- src_prob l;
+        mix.(l) <- 0.0
+      done;
       let factor = ref 1.0 in
       let total = ref 0.0 in
-      let mix = Array.make labels 0.0 in
       let first_hop_deg = ref None in
       for k = 1 to hi do
         let expansion, target_prob, deg_of =
@@ -315,7 +482,7 @@ let apply_expand st ~src_var ~rel_var ~dst_var ~types ~dir ~hops =
       (match !first_hop_deg with
       | Some (deg_of, expansion) when expansion > 0.0 ->
           Label_probs.update_all st.probs ~var:src_var ~f:(fun l p ->
-              safe_div (p *. deg_of l) expansion)
+              if p <= 0.0 then 0.0 else safe_div (p *. deg_of l) expansion)
       | Some _ | None -> ())
 
 (* ------------------------------------------------------------------ *)
@@ -356,19 +523,16 @@ let apply_merge_on st ~keep ~merge =
   let cov_keep = ref 0.0 and cov_merge = ref 0.0 in
   Array.iter
     (fun cluster ->
-      let ordered = order_cluster st ~prob:prob_max cluster in
-      let rec go before = function
-        | [] -> ()
-        | lj :: rest ->
-            let pk = repr_prob st ~prob:prob_keep ~before lj in
-            let pm = repr_prob st ~prob:prob_merge ~before lj in
-            cov_keep := !cov_keep +. pk;
-            cov_merge := !cov_merge +. pm;
-            let n = Catalog.nc st.catalog lj in
-            if n > 0 then labeled := !labeled +. (pk *. pm /. fi n);
-            go (lj :: before) rest
-      in
-      go [] ordered)
+      let n = order_cluster_into st ~prob:prob_max cluster in
+      for j = 0 to n - 1 do
+        let lj = st.ord_buf.(j) in
+        let pk = repr_prob st ~prob:prob_keep ~len:j lj in
+        let pm = repr_prob st ~prob:prob_merge ~len:j lj in
+        cov_keep := !cov_keep +. pk;
+        cov_merge := !cov_merge +. pm;
+        let c = Catalog.nc st.catalog lj in
+        if c > 0 then labeled := !labeled +. (pk *. pm /. fi c)
+      done)
     (Label_partition.clusters st.partition);
   let unl_keep = clamp01 (1.0 -. !cov_keep) in
   let unl_merge = clamp01 (1.0 -. !cov_merge) in
@@ -400,16 +564,23 @@ let apply_op st (op : Algebra.op) =
       else apply_merge_on st ~keep ~merge);
   if st.card < 0.0 then st.card <- 0.0
 
-let estimate config catalog (alg : Algebra.t) =
-  let st = make_state config catalog alg in
+let session_estimate st (alg : Algebra.t) =
+  begin_estimate st alg;
   Array.iter (apply_op st) alg.ops;
   st.card
+
+let session_estimate_pattern st pattern =
+  session_estimate st (Planner.plan pattern)
+
+let estimate config catalog (alg : Algebra.t) =
+  session_estimate (make config catalog) alg
 
 let estimate_pattern config catalog pattern =
   estimate config catalog (Planner.plan pattern)
 
 let trace config catalog (alg : Algebra.t) =
-  let st = make_state config catalog alg in
+  let st = make config catalog in
+  begin_estimate st alg;
   Array.fold_left
     (fun acc op ->
       apply_op st op;

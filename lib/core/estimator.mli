@@ -23,10 +23,36 @@
       Expand target variable use reversed (label, type, direction) pair counts
       instead of triples. *)
 
+(** {1 Sessions}
+
+    A session owns every piece of mutable estimator state — the label
+    probability matrix, the representative/ordering scratch arrays and the
+    per-estimate degree-vector cache — so a workload of many estimates
+    allocates (almost) nothing per query. Estimates through a session are
+    bit-identical to the one-shot {!estimate}. Sessions are not thread-safe:
+    use one per domain. *)
+
+type session
+
+val make : Config.t -> Lpp_stats.Catalog.t -> session
+(** Resolve the configuration against the catalog once and preallocate all
+    scratch state. The session reads the catalog lazily at estimate time, so
+    freezing ({!Lpp_stats.Catalog.freeze}) or incremental updates between
+    estimates are picked up. *)
+
+val session_estimate : session -> Lpp_pattern.Algebra.t -> float
+(** Like {!estimate}, reusing the session's state. *)
+
+val session_estimate_pattern : session -> Lpp_pattern.Pattern.t -> float
+(** [Lpp_pattern.Planner.plan] followed by {!session_estimate}. *)
+
+(** {1 One-shot entry points} *)
+
 val estimate :
   Config.t -> Lpp_stats.Catalog.t -> Lpp_pattern.Algebra.t -> float
 (** Estimated result cardinality of the operator sequence. Never negative;
-    may legitimately be < 1 for very selective patterns. *)
+    may legitimately be < 1 for very selective patterns. Equivalent to
+    [session_estimate (make config catalog) alg]. *)
 
 val estimate_pattern :
   Config.t -> Lpp_stats.Catalog.t -> Lpp_pattern.Pattern.t -> float

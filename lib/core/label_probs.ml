@@ -1,40 +1,84 @@
-type t = { labels : int; vars : (int, float array) Hashtbl.t }
+(* Var-major flat matrix: row [var] holds the per-label probabilities of that
+   variable, [live] flags which rows are bound. No per-variable allocation on
+   the estimator hot path — [reset] rebinds nothing and keeps the buffers, so
+   a session reuses one matrix across estimates. *)
+type t = {
+  labels : int;
+  mutable data : float array;  (* rows × labels, row-major *)
+  mutable live : bool array;
+}
 
-let create ~labels = { labels; vars = Hashtbl.create 8 }
+let create ?(vars = 8) ~labels () =
+  let vars = max vars 1 in
+  { labels; data = Array.make (vars * labels) 0.0; live = Array.make vars false }
 
 let label_count t = t.labels
+
+let rows t = Array.length t.live
+
+let ensure_row t var =
+  if var >= rows t then begin
+    let fresh_rows = max (var + 1) (2 * rows t) in
+    let data = Array.make (fresh_rows * t.labels) 0.0 in
+    Array.blit t.data 0 data 0 (Array.length t.data);
+    let live = Array.make fresh_rows false in
+    Array.blit t.live 0 live 0 (Array.length t.live);
+    t.data <- data;
+    t.live <- live
+  end
+
+let reset t = Array.fill t.live 0 (rows t) false
 
 let clamp p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p
 
 let introduce t ~var ~init =
-  if Hashtbl.mem t.vars var then
-    invalid_arg "Label_probs.introduce: variable already live";
-  Hashtbl.add t.vars var (Array.init t.labels (fun l -> clamp (init l)))
+  ensure_row t var;
+  if t.live.(var) then invalid_arg "Label_probs.introduce: variable already live";
+  t.live.(var) <- true;
+  let base = var * t.labels in
+  for l = 0 to t.labels - 1 do
+    t.data.(base + l) <- clamp (init l)
+  done
 
-let drop t ~var = Hashtbl.remove t.vars var
+let drop t ~var = if var < rows t then t.live.(var) <- false
 
-let is_live t ~var = Hashtbl.mem t.vars var
+let is_live t ~var = var < rows t && t.live.(var)
 
-let probs t var =
-  match Hashtbl.find_opt t.vars var with
-  | Some arr -> arr
-  | None -> invalid_arg "Label_probs: variable not live"
+let check_live t var =
+  if not (is_live t ~var) then invalid_arg "Label_probs: variable not live"
 
-let get t ~var ~label = (probs t var).(label)
+let get t ~var ~label =
+  check_live t var;
+  t.data.((var * t.labels) + label)
 
-let set t ~var ~label p = (probs t var).(label) <- clamp p
+let set t ~var ~label p =
+  check_live t var;
+  t.data.((var * t.labels) + label) <- clamp p
 
 let update_all t ~var ~f =
-  let arr = probs t var in
-  Array.iteri (fun l p -> arr.(l) <- clamp (f l p)) arr
+  check_live t var;
+  let base = var * t.labels in
+  for l = 0 to t.labels - 1 do
+    t.data.(base + l) <- clamp (f l t.data.(base + l))
+  done
 
-let positive_labels t ~var =
-  let arr = probs t var in
-  let acc = ref [] in
-  for l = t.labels - 1 downto 0 do
-    if arr.(l) > 0.0 then acc := l :: !acc
+let positive_labels t ~var ~buf =
+  check_live t var;
+  if Array.length buf < t.labels then
+    invalid_arg "Label_probs.positive_labels: buffer shorter than label count";
+  let base = var * t.labels in
+  let n = ref 0 in
+  for l = 0 to t.labels - 1 do
+    if t.data.(base + l) > 0.0 then begin
+      buf.(!n) <- l;
+      incr n
+    end
   done;
-  !acc
+  !n
 
 let live_vars t =
-  Hashtbl.fold (fun v _ acc -> v :: acc) t.vars [] |> List.sort Int.compare
+  let acc = ref [] in
+  for v = rows t - 1 downto 0 do
+    if t.live.(v) then acc := v :: !acc
+  done;
+  !acc

@@ -1,12 +1,21 @@
 (** The mapping M of Algorithm 1: per node variable, the probability that a
-    node bound to that variable carries each label. *)
+    node bound to that variable carries each label.
+
+    Backed by one flat var-major float matrix with liveness flags rather than
+    a hashtable of rows: binding, reading and updating variables never
+    allocates, and {!reset} lets an estimator session reuse the same matrix
+    across estimates. *)
 
 type t
 
-val create : labels:int -> t
-(** Empty mapping for a vocabulary of [labels] labels. *)
+val create : ?vars:int -> labels:int -> unit -> t
+(** Empty mapping for a vocabulary of [labels] labels; [vars] (default 8)
+    pre-sizes the variable dimension, which grows on demand. *)
 
 val label_count : t -> int
+
+val reset : t -> unit
+(** Unbind every variable, keeping the allocated matrix. *)
 
 val introduce : t -> var:int -> init:(int -> float) -> unit
 (** Bind a fresh variable with [init label] as its per-label probabilities.
@@ -26,7 +35,10 @@ val update_all : t -> var:int -> f:(int -> float -> float) -> unit
 (** [update_all t ~var ~f] replaces every label probability [p] of [var] by
     [f label p], clamped to [\[0, 1\]]. *)
 
-val positive_labels : t -> var:int -> int list
-(** Labels with probability > 0, ascending — the set L' of Section 5.3. *)
+val positive_labels : t -> var:int -> buf:int array -> int
+(** Fill [buf] with the labels of probability > 0, ascending — the set L' of
+    Section 5.3 — and return how many were written. [buf] must hold at least
+    {!label_count} entries.
+    @raise Invalid_argument if [buf] is too short. *)
 
 val live_vars : t -> int list

@@ -9,10 +9,21 @@ type t = {
 }
 
 let ours config catalog =
+  (* One estimator session per domain: Runner.run fans queries out across a
+     domain pool, and sessions hold scratch state that must not be shared.
+     Estimates are pure in (config, catalog, pattern), so which domain's
+     session serves a query cannot change the result. *)
+  let session_key =
+    Domain.DLS.new_key (fun () -> Lpp_core.Estimator.make config catalog)
+  in
   {
     name = Lpp_core.Config.name config;
     supports = (fun _ -> true);
-    estimate = (fun p -> Lpp_core.Estimator.estimate_pattern config catalog p);
+    estimate =
+      (fun p ->
+        Lpp_core.Estimator.session_estimate_pattern
+          (Domain.DLS.get session_key)
+          p);
     seeded_estimate = None;
     memory_bytes = Lpp_core.Estimator.memory_bytes config catalog;
   }

@@ -3,6 +3,27 @@ open Lpp_pgraph
 (* Triple keys are (src, typ, dst) with -1 encoding the wildcard [*]; all
    counts are stored from the relationship's natural orientation (src → dst).
    Queries in direction [In] swap the roles; [Both] sums both. *)
+
+(* Frozen read path: the triple and any-type hashtables compiled into flat
+   arrays so [rc]/[simple_rc] become branch-light array reads. Both wildcard
+   sides and the "any type" projection share one key space: label ids shift
+   by one (star → 0) and type ids shift by one (any → 0), giving the packed
+   key ((typ+1)·(L+1) + l1+1)·(L+1) + l2+1. Small key spaces get the dense
+   array directly; large ones (hundreds of labels × types, as in the
+   DBpedia-like generator) get the sorted key/count pair with binary search,
+   which costs O(log entries) but only bytes per *occupied* key. *)
+type layout =
+  | Dense of int array  (* (T+1)·(L+1)² counters, index = packed key *)
+  | Packed of { keys : int array; counts : int array }  (* sorted by key *)
+
+type frozen = {
+  fz_labels : int;  (* label ids ≥ this (interned post-freeze) count 0 *)
+  fz_types : int;
+  fz_layout : layout;
+  fz_mem_simple : int;  (* memory accounting precomputed at freeze time *)
+  fz_mem_advanced : int;
+}
+
 type t = {
   mutable total_nodes : int;
   mutable total_rels : int;
@@ -10,6 +31,11 @@ type t = {
   mutable rel_type_totals : int array;
   triples : (int * int * int, int) Hashtbl.t;
   any_type : (int * int, int) Hashtbl.t;
+  mutable pair_entries : int;
+      (* number of (ℓ, t, direction) pair entries — triples with a wildcard
+         far side, counted once per direction; maintained incrementally so
+         [memory_bytes_simple] never re-folds the whole table *)
+  mutable frozen : frozen option;
   hierarchy : Label_hierarchy.t;
   partition : Label_partition.t;
   props : Prop_stats.t;
@@ -104,6 +130,12 @@ let build_with ?hierarchy ?partition ?jobs g =
           shards;
         (rel_type_totals, triples, any_type)
   in
+  let pair_entries =
+    Hashtbl.fold
+      (fun (l1, _, l2) _ acc ->
+        acc + (if l2 = star then 1 else 0) + if l1 = star then 1 else 0)
+      triples 0
+  in
   {
     total_nodes = Graph.node_count g;
     total_rels = Graph.rel_count g;
@@ -111,6 +143,8 @@ let build_with ?hierarchy ?partition ?jobs g =
     rel_type_totals;
     triples;
     any_type;
+    pair_entries;
+    frozen = None;
     hierarchy;
     partition;
     props = Prop_stats.build g;
@@ -133,9 +167,132 @@ let rel_type_total t typ =
   if typ >= 0 && typ < Array.length t.rel_type_totals then t.rel_type_totals.(typ)
   else 0
 
+(* ---- frozen read path ---- *)
+
+let nc_bytes t = Array.length t.nc * Lpp_util.Mem_size.int_entry
+
+let mem_simple_of t ~pair_entries =
+  nc_bytes t
+  + pair_entries
+    * Lpp_util.Mem_size.table_entry
+        ~key_bytes:(2 * Lpp_util.Mem_size.int_entry)
+        ~value_bytes:Lpp_util.Mem_size.int_entry
+
+let mem_advanced_of t ~triple_entries =
+  nc_bytes t
+  + triple_entries
+    * Lpp_util.Mem_size.table_entry
+        ~key_bytes:(3 * Lpp_util.Mem_size.int_entry)
+        ~value_bytes:Lpp_util.Mem_size.int_entry
+
+(* Above this many dense slots, switch to the packed layout: 2M counters
+   (16 MB) covers every generated dataset's (L+1)²·(T+1) comfortably while
+   keeping adversarial label vocabularies from allocating gigabytes. *)
+let dense_slot_limit = 2_000_000
+
+let pack ~l1 ~typ ~l2 ~labels1 = (((typ + 1) * labels1) + l1 + 1) * labels1 + (l2 + 1)
+
+let freeze t =
+  if t.frozen = None then begin
+    (* key space: every label/type the counters may be queried with, i.e.
+       ids seen at build time plus any id the incremental path grew into *)
+    let labels = ref (Array.length t.nc) in
+    let types = ref (Array.length t.rel_type_totals) in
+    Hashtbl.iter
+      (fun (l1, ty, l2) _ ->
+        labels := max !labels (max l1 l2 + 1);
+        types := max !types (ty + 1))
+      t.triples;
+    Hashtbl.iter
+      (fun (l1, l2) _ -> labels := max !labels (max l1 l2 + 1))
+      t.any_type;
+    let labels = !labels and types = !types in
+    let labels1 = labels + 1 in
+    let slots = (types + 1) * labels1 * labels1 in
+    let layout =
+      if slots <= dense_slot_limit then begin
+        let dense = Array.make slots 0 in
+        Hashtbl.iter
+          (fun (l1, l2) c -> dense.(pack ~l1 ~typ:star ~l2 ~labels1) <- c)
+          t.any_type;
+        Hashtbl.iter
+          (fun (l1, typ, l2) c -> dense.(pack ~l1 ~typ ~l2 ~labels1) <- c)
+          t.triples;
+        Dense dense
+      end
+      else begin
+        let n = Hashtbl.length t.any_type + Hashtbl.length t.triples in
+        let entries = Array.make n (0, 0) in
+        let i = ref 0 in
+        Hashtbl.iter
+          (fun (l1, l2) c ->
+            entries.(!i) <- (pack ~l1 ~typ:star ~l2 ~labels1, c);
+            incr i)
+          t.any_type;
+        Hashtbl.iter
+          (fun (l1, typ, l2) c ->
+            entries.(!i) <- (pack ~l1 ~typ ~l2 ~labels1, c);
+            incr i)
+          t.triples;
+        Array.sort (fun (k1, _) (k2, _) -> Int.compare k1 k2) entries;
+        Packed
+          {
+            keys = Array.map fst entries;
+            counts = Array.map snd entries;
+          }
+      end
+    in
+    t.frozen <-
+      Some
+        {
+          fz_labels = labels;
+          fz_types = types;
+          fz_layout = layout;
+          fz_mem_simple = mem_simple_of t ~pair_entries:t.pair_entries;
+          fz_mem_advanced =
+            mem_advanced_of t ~triple_entries:(Hashtbl.length t.triples);
+        }
+  end
+
+let thaw t = t.frozen <- None
+
+let is_frozen t = t.frozen <> None
+
+let fz_get f ~l1 ~typ ~l2 =
+  let l1o = l1 + 1 and l2o = l2 + 1 and tyo = typ + 1 in
+  if
+    l1o < 0 || l1o > f.fz_labels || l2o < 0 || l2o > f.fz_labels || tyo < 0
+    || tyo > f.fz_types
+  then 0
+  else begin
+    let labels1 = f.fz_labels + 1 in
+    let key = (((tyo * labels1) + l1o) * labels1) + l2o in
+    match f.fz_layout with
+    | Dense dense -> dense.(key)
+    | Packed { keys; counts } ->
+        let lo = ref 0 and hi = ref (Array.length keys) in
+        while !hi - !lo > 0 do
+          let mid = (!lo + !hi) / 2 in
+          if keys.(mid) < key then lo := mid + 1 else hi := mid
+        done;
+        if !lo < Array.length keys && keys.(!lo) = key then counts.(!lo) else 0
+  end
+
 let rc_directed t ~src ~types ~dst =
-  if Array.length types = 0 then get t.any_type (src, dst)
-  else Array.fold_left (fun acc ty -> acc + get t.triples (src, ty, dst)) 0 types
+  match t.frozen with
+  | Some f ->
+      if Array.length types = 0 then fz_get f ~l1:src ~typ:star ~l2:dst
+      else
+        Array.fold_left
+          (fun acc ty ->
+            (* ty < 0 would alias the any-type slot (keys shift by one);
+               the hashtable path answers 0 for it, so must we *)
+            if ty < 0 then acc else acc + fz_get f ~l1:src ~typ:ty ~l2:dst)
+          0 types
+  | None ->
+      if Array.length types = 0 then get t.any_type (src, dst)
+      else
+        Array.fold_left (fun acc ty -> acc + get t.triples (src, ty, dst)) 0 types
 
 let rc t ~dir ~node ~types ~other =
   let node = wild node and other = wild other in
@@ -147,6 +304,50 @@ let rc t ~dir ~node ~types ~other =
       + rc_directed t ~src:other ~types ~dst:node
 
 let simple_rc t ~dir ~node ~types = rc t ~dir ~node ~types ~other:None
+
+let rc_row t ~dir ~node ~types ~row =
+  let len = Array.length row in
+  let generic () =
+    for l' = 0 to len - 1 do
+      row.(l') <- rc t ~dir ~node ~types ~other:(Some l')
+    done
+  in
+  match t.frozen with
+  | Some ({ fz_layout = Dense dense; _ } as f) ->
+      Array.fill row 0 len 0;
+      let labels1 = f.fz_labels + 1 in
+      let no = wild node + 1 in
+      (* slots exist only for l' + 1 <= fz_labels; the rest keep the 0 that
+         fz_get's bounds check would answer *)
+      let last = min (len - 1) (f.fz_labels - 1) in
+      if no >= 0 && no <= f.fz_labels then begin
+        let add_ty tyo =
+          if tyo >= 0 && tyo <= f.fz_types then begin
+            (match (dir : Direction.t) with
+            | Out | Both ->
+                let base = ((tyo * labels1) + no) * labels1 in
+                for l' = 0 to last do
+                  row.(l') <- row.(l') + dense.(base + l' + 1)
+                done
+            | In -> ());
+            match (dir : Direction.t) with
+            | In | Both ->
+                let base = (tyo * labels1 * labels1) + no in
+                for l' = 0 to last do
+                  row.(l') <- row.(l') + dense.(base + ((l' + 1) * labels1))
+                done
+            | Out -> ()
+          end
+        in
+        if Array.length types = 0 then add_ty (star + 1)
+        else
+          Array.iter
+            (fun ty ->
+              (* same negative-type guard as rc_directed *)
+              if ty >= 0 then add_ty (ty + 1))
+            types
+      end
+  | Some _ | None -> generic ()
 
 let hierarchy t = t.hierarchy
 
@@ -166,31 +367,19 @@ let triangles t =
           t.tri <- Some stats;
           stats)
 
-let nc_bytes t = Array.length t.nc * Lpp_util.Mem_size.int_entry
-
+(* Neo4j keeps NC(ℓ) plus (ℓ, t, direction) pair counts: our triple entries
+   whose far side is the wildcard, once per direction. [pair_entries] is
+   maintained at build / insert time, so both accessors are O(1); a frozen
+   catalog serves the numbers precomputed at freeze time. *)
 let memory_bytes_simple t =
-  (* Neo4j keeps NC(ℓ) plus (ℓ, t, direction) pair counts: our triple entries
-     whose far side is the wildcard, once per direction. *)
-  let pair_entries =
-    Hashtbl.fold
-      (fun (l1, _, l2) _ acc ->
-        let out_pair = if l2 = star then 1 else 0 in
-        let in_pair = if l1 = star then 1 else 0 in
-        acc + out_pair + in_pair)
-      t.triples 0
-  in
-  nc_bytes t
-  + pair_entries
-    * Lpp_util.Mem_size.table_entry
-        ~key_bytes:(2 * Lpp_util.Mem_size.int_entry)
-        ~value_bytes:Lpp_util.Mem_size.int_entry
+  match t.frozen with
+  | Some f -> f.fz_mem_simple
+  | None -> mem_simple_of t ~pair_entries:t.pair_entries
 
 let memory_bytes_advanced t =
-  nc_bytes t
-  + Hashtbl.length t.triples
-    * Lpp_util.Mem_size.table_entry
-        ~key_bytes:(3 * Lpp_util.Mem_size.int_entry)
-        ~value_bytes:Lpp_util.Mem_size.int_entry
+  match t.frozen with
+  | Some f -> f.fz_mem_advanced
+  | None -> mem_advanced_of t ~triple_entries:(Hashtbl.length t.triples)
 
 (* ---- incremental maintenance (Section 4.1's cheap-to-keep claim) ---- *)
 
@@ -202,7 +391,19 @@ let ensure_capacity arr size =
     fresh
   end
 
+(* The frozen snapshot is a compiled copy of the counters: mutating the
+   hashtables underneath it would silently desynchronise the read path, so
+   updates on a frozen catalog are refused instead of absorbed. *)
+let refuse_if_frozen t fn =
+  if t.frozen <> None then
+    invalid_arg
+      (Printf.sprintf
+         "Catalog.%s: catalog is frozen; call Catalog.thaw before incremental \
+          updates"
+         fn)
+
 let note_node_added t ~labels =
+  refuse_if_frozen t "note_node_added";
   t.total_nodes <- t.total_nodes + 1;
   Array.iter
     (fun l ->
@@ -211,11 +412,19 @@ let note_node_added t ~labels =
     labels
 
 let note_rel_added t ~src_labels ~typ ~dst_labels =
+  refuse_if_frozen t "note_rel_added";
   t.total_rels <- t.total_rels + 1;
   t.rel_type_totals <- ensure_capacity t.rel_type_totals (typ + 1);
   t.rel_type_totals.(typ) <- t.rel_type_totals.(typ) + 1;
   let bump_pair l1 l2 =
-    bump t.triples (l1, typ, l2);
+    (match Hashtbl.find_opt t.triples (l1, typ, l2) with
+    | Some c -> Hashtbl.replace t.triples (l1, typ, l2) (c + 1)
+    | None ->
+        Hashtbl.add t.triples (l1, typ, l2) 1;
+        t.pair_entries <-
+          t.pair_entries
+          + (if l2 = star then 1 else 0)
+          + if l1 = star then 1 else 0);
     bump t.any_type (l1, l2)
   in
   let bump_src l1 =

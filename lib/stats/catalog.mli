@@ -69,6 +69,41 @@ val simple_rc :
   t -> dir:Lpp_pgraph.Direction.t -> node:int option -> types:int array -> int
 (** Neo4j's pair counts: [rc] with [other = None]. *)
 
+val rc_row :
+  t ->
+  dir:Lpp_pgraph.Direction.t ->
+  node:int option ->
+  types:int array ->
+  row:int array ->
+  unit
+(** Fill [row.(l') <- rc t ~dir ~node ~types ~other:(Some l')] for every
+    [l' < Array.length row]. On a frozen dense catalog this runs as a few
+    contiguous sweeps over the counter matrix instead of per-[(node, l')]
+    packed lookups — one call covers an Expand's whole target-probability
+    row. Counts are identical to calling {!rc} per label. *)
+
+(** {1 Frozen read path}
+
+    [freeze] compiles the mutable triple/any-type hashtables into immutable
+    flat arrays — a dense [(T+1)·(L+1)²] counter matrix when the key space is
+    small, otherwise sorted int-packed keys with binary search — so {!rc} and
+    {!simple_rc} on the estimator hot path become branch-light array reads
+    instead of per-type hashtable probes. Freezing changes no observable
+    count: every [nc]/[rc]/[simple_rc] result (including wildcard sides,
+    out-of-range ids, and labels interned after the freeze) is identical to
+    the unfrozen answer, and the [memory_bytes_*] accounting is precomputed at
+    freeze time with unchanged values. Incremental updates ({!note_node_added},
+    {!note_rel_added}) are refused while frozen; {!thaw} drops the snapshot
+    and re-enables them. *)
+
+val freeze : t -> unit
+(** Idempotent; O(statistics size). *)
+
+val thaw : t -> unit
+(** Drop the frozen snapshot, restoring the mutable read path. *)
+
+val is_frozen : t -> bool
+
 (** {1 Optional statistics} *)
 
 val hierarchy : t -> Label_hierarchy.t
@@ -92,11 +127,13 @@ val triangles : t -> Triangle_stats.t
     in the evaluation. *)
 
 val note_node_added : t -> labels:int array -> unit
-(** O(|labels|); unseen label ids grow the counter table. *)
+(** O(|labels|); unseen label ids grow the counter table.
+    @raise Invalid_argument if the catalog is frozen (see {!freeze}). *)
 
 val note_rel_added :
   t -> src_labels:int array -> typ:int -> dst_labels:int array -> unit
-(** O(|src_labels| · |dst_labels|). *)
+(** O(|src_labels| · |dst_labels|).
+    @raise Invalid_argument if the catalog is frozen (see {!freeze}). *)
 
 (** {1 Memory accounting (Table 3)} *)
 

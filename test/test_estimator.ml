@@ -312,18 +312,30 @@ let test_memory_bytes_monotone () =
 (* label probability invariant: all probabilities stay in [0,1] — exercised
    indirectly by Label_probs clamping; here we test the module directly. *)
 let test_label_probs_module () =
-  let lp = Label_probs.create ~labels:3 in
+  let lp = Label_probs.create ~vars:1 ~labels:3 () in
   Label_probs.introduce lp ~var:0 ~init:(fun l -> float_of_int l);
   Alcotest.(check (float 0.0)) "clamped to 1" 1.0 (Label_probs.get lp ~var:0 ~label:2);
   Label_probs.set lp ~var:0 ~label:0 (-5.0);
   Alcotest.(check (float 0.0)) "clamped to 0" 0.0 (Label_probs.get lp ~var:0 ~label:0);
+  let buf = Array.make 3 (-1) in
+  let n = Label_probs.positive_labels lp ~var:0 ~buf in
   Alcotest.(check (list int)) "positive labels" [ 1; 2 ]
-    (Label_probs.positive_labels lp ~var:0);
+    (Array.to_list (Array.sub buf 0 n));
+  Alcotest.check_raises "short buffer"
+    (Invalid_argument "Label_probs.positive_labels: buffer shorter than label count")
+    (fun () -> ignore (Label_probs.positive_labels lp ~var:0 ~buf:(Array.make 2 0)));
   Alcotest.check_raises "double introduce"
     (Invalid_argument "Label_probs.introduce: variable already live") (fun () ->
       Label_probs.introduce lp ~var:0 ~init:(fun _ -> 0.0));
+  (* growing past the preallocated row capacity preserves existing rows *)
+  Label_probs.introduce lp ~var:5 ~init:(fun l -> if l = 1 then 0.5 else 0.0);
+  Alcotest.(check (float 0.0)) "grown row" 0.5 (Label_probs.get lp ~var:5 ~label:1);
+  Alcotest.(check (float 0.0)) "old row intact" 1.0 (Label_probs.get lp ~var:0 ~label:2);
+  Alcotest.(check (list int)) "live vars" [ 0; 5 ] (Label_probs.live_vars lp);
   Label_probs.drop lp ~var:0;
-  Alcotest.(check bool) "dropped" false (Label_probs.is_live lp ~var:0)
+  Alcotest.(check bool) "dropped" false (Label_probs.is_live lp ~var:0);
+  Label_probs.reset lp;
+  Alcotest.(check (list int)) "reset unbinds all" [] (Label_probs.live_vars lp)
 
 let suite =
   [

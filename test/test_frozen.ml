@@ -1,0 +1,234 @@
+(* The frozen catalog read path (Catalog.freeze) must be observationally
+   equivalent to the hashtable path: identical nc/rc/simple_rc answers —
+   including wildcard sides, out-of-range and post-freeze interned ids — and
+   bit-identical estimates through every configuration, one-shot or via the
+   session API. *)
+
+open Lpp_pgraph
+open Lpp_stats
+
+let random_graph rng =
+  let open Lpp_util in
+  let b = Graph_builder.create () in
+  let n = Rng.int_in rng 1 18 in
+  let label_pool = [ "A"; "B"; "C"; "D" ] in
+  let nodes =
+    Array.init n (fun i ->
+        let labels =
+          List.filteri (fun j _ -> (i + j) mod 3 <> 0 || Rng.bool rng) label_pool
+        in
+        Graph_builder.add_node b ~labels ~props:[])
+  in
+  let m = Rng.int rng (3 * n) in
+  for _ = 1 to m do
+    let s = nodes.(Rng.int rng n) and d = nodes.(Rng.int rng n) in
+    ignore
+      (Graph_builder.add_rel b ~src:s ~dst:d
+         ~rel_type:(match Rng.int rng 3 with 0 -> "u" | 1 -> "v" | _ -> "w")
+         ~props:[])
+  done;
+  Graph_builder.freeze b
+
+(* Every nc/rc/simple_rc answer over a probe battery: both wildcard sides,
+   every direction, empty / single / multi / out-of-range / negative type
+   sets, and label ids past the catalog's vocabulary. *)
+let observe catalog =
+  let labels = Catalog.label_count catalog in
+  let node_probes =
+    None
+    :: List.init (labels + 3) (fun l -> Some (l - 1)) (* includes Some (-1) *)
+  in
+  let type_probes = [ [||]; [| 0 |]; [| 1 |]; [| 0; 1; 2 |]; [| 99 |]; [| -3 |] ] in
+  let acc = ref [] in
+  for l = -1 to labels + 2 do
+    acc := Catalog.nc catalog l :: !acc
+  done;
+  List.iter
+    (fun dir ->
+      List.iter
+        (fun node ->
+          List.iter
+            (fun types ->
+              acc := Catalog.simple_rc catalog ~dir ~node ~types :: !acc;
+              (* rc_row must agree with per-label rc, including the slots
+                 past the frozen snapshot's label space *)
+              let row = Array.make (labels + 2) (-1) in
+              Catalog.rc_row catalog ~dir ~node ~types ~row;
+              Array.iter (fun c -> acc := c :: !acc) row;
+              List.iter
+                (fun other ->
+                  acc := Catalog.rc catalog ~dir ~node ~types ~other :: !acc)
+                node_probes)
+            type_probes)
+        node_probes)
+    [ Direction.Out; Direction.In; Direction.Both ];
+  acc :=
+    Catalog.memory_bytes_simple catalog :: Catalog.memory_bytes_advanced catalog
+    :: !acc;
+  !acc
+
+let prop_frozen_matches_hashtable =
+  QCheck.Test.make ~name:"frozen catalog == hashtable catalog" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Lpp_util.Rng.create (seed + 1) in
+      let g = random_graph rng in
+      let catalog = Catalog.build g in
+      (* grow the id space through the incremental path before freezing, so
+         the snapshot must cover ids the build never saw *)
+      if Lpp_util.Rng.bool rng then begin
+        let big = Catalog.label_count catalog + Lpp_util.Rng.int rng 4 in
+        Catalog.note_node_added catalog ~labels:[| big |];
+        Catalog.note_rel_added catalog ~src_labels:[| big |] ~typ:5
+          ~dst_labels:[| 0 |]
+      end;
+      let before = observe catalog in
+      Catalog.freeze catalog;
+      let frozen = observe catalog in
+      Catalog.thaw catalog;
+      let thawed = observe catalog in
+      before = frozen && before = thawed)
+
+(* The packed (sorted-key binary search) layout kicks in when the dense key
+   space would exceed the slot limit; a label id around 1500 pushes
+   (L+1)² past it. Same equivalence requirement. *)
+let test_packed_layout_matches () =
+  let { graph; _ } : Fixtures.campus = Fixtures.campus () in
+  let catalog = Catalog.build graph in
+  Catalog.note_node_added catalog ~labels:[| 1500 |];
+  Catalog.note_rel_added catalog ~src_labels:[| 1500 |] ~typ:2
+    ~dst_labels:[| 0; 1500 |];
+  let before = observe catalog in
+  let big_before =
+    Catalog.rc catalog ~dir:Direction.Out ~node:(Some 1500) ~types:[| 2 |]
+      ~other:(Some 0)
+  in
+  Catalog.freeze catalog;
+  Alcotest.(check bool) "frozen" true (Catalog.is_frozen catalog);
+  Alcotest.(check (list int)) "packed probes" before (observe catalog);
+  Alcotest.(check int) "grown id count" big_before
+    (Catalog.rc catalog ~dir:Direction.Out ~node:(Some 1500) ~types:[| 2 |]
+       ~other:(Some 0));
+  Alcotest.(check int) "post-freeze interned label counts 0" 0
+    (Catalog.rc catalog ~dir:Direction.Out ~node:(Some 2000) ~types:[||]
+       ~other:None)
+
+let test_freeze_idempotent () =
+  let { graph; _ } : Fixtures.campus = Fixtures.campus () in
+  let catalog = Catalog.build graph in
+  let before = observe catalog in
+  Catalog.freeze catalog;
+  Catalog.freeze catalog;
+  Alcotest.(check (list int)) "double freeze" before (observe catalog)
+
+let test_frozen_refuses_updates () =
+  let { graph; _ } : Fixtures.campus = Fixtures.campus () in
+  let catalog = Catalog.build graph in
+  Catalog.freeze catalog;
+  Alcotest.check_raises "note_node_added refused"
+    (Invalid_argument
+       "Catalog.note_node_added: catalog is frozen; call Catalog.thaw before \
+        incremental updates") (fun () ->
+      Catalog.note_node_added catalog ~labels:[| 0 |]);
+  Alcotest.check_raises "note_rel_added refused"
+    (Invalid_argument
+       "Catalog.note_rel_added: catalog is frozen; call Catalog.thaw before \
+        incremental updates") (fun () ->
+      Catalog.note_rel_added catalog ~src_labels:[| 0 |] ~typ:0
+        ~dst_labels:[| 1 |]);
+  let nodes = Catalog.nc_star catalog in
+  Catalog.thaw catalog;
+  Catalog.note_node_added catalog ~labels:[| 0 |];
+  Alcotest.(check int) "thaw re-enables updates" (nodes + 1)
+    (Catalog.nc_star catalog)
+
+(* Estimates must be bit-identical across: one-shot vs session API, and
+   unfrozen vs frozen catalog — for every configuration of the ladder. *)
+let test_estimates_bit_identical () =
+  let ds = Lpp_datasets.Snb_gen.generate ~persons:100 ~seed:7 () in
+  let rng = Lpp_util.Rng.create 42 in
+  let spec =
+    { (Lpp_workload.Query_gen.default_spec With_props) with
+      target = 12; attempts = 60; truth_budget = 1_000_000 }
+  in
+  let queries = Lpp_workload.Query_gen.generate rng ds spec in
+  Alcotest.(check bool) "got queries" true (List.length queries >= 8);
+  let algs =
+    List.map
+      (fun (q : Lpp_workload.Query_gen.query) -> Lpp_pattern.Planner.plan q.pattern)
+      queries
+  in
+  let configs = Lpp_core.Config.all @ [ Lpp_core.Config.a_lhdt ] in
+  let bits = List.map Int64.bits_of_float in
+  let estimates_oneshot () =
+    List.concat_map
+      (fun config ->
+        List.map (fun alg -> Lpp_core.Estimator.estimate config ds.catalog alg) algs)
+      configs
+  in
+  let estimates_session () =
+    List.concat_map
+      (fun config ->
+        let session = Lpp_core.Estimator.make config ds.catalog in
+        List.map (fun alg -> Lpp_core.Estimator.session_estimate session alg) algs)
+      configs
+  in
+  let reference = estimates_oneshot () in
+  Alcotest.(check (list int64)) "session == one-shot (unfrozen)"
+    (bits reference)
+    (bits (estimates_session ()));
+  Catalog.freeze ds.catalog;
+  Alcotest.(check (list int64)) "frozen one-shot == unfrozen"
+    (bits reference)
+    (bits (estimates_oneshot ()));
+  Alcotest.(check (list int64)) "frozen session == unfrozen"
+    (bits reference)
+    (bits (estimates_session ()));
+  Catalog.thaw ds.catalog;
+  Alcotest.(check (list int64)) "thawed == original"
+    (bits reference)
+    (bits (estimates_oneshot ()))
+
+(* One session serving many differently-shaped algebras must not leak state
+   across estimates: interleaved replay equals fresh one-shots. *)
+let test_session_no_state_leak () =
+  let ds = Lpp_datasets.Snb_gen.generate ~persons:80 ~seed:11 () in
+  let rng = Lpp_util.Rng.create 5 in
+  let spec =
+    { (Lpp_workload.Query_gen.default_spec No_props) with
+      target = 10; attempts = 50; truth_budget = 1_000_000 }
+  in
+  let queries = Lpp_workload.Query_gen.generate rng ds spec in
+  let algs =
+    List.map
+      (fun (q : Lpp_workload.Query_gen.query) -> Lpp_pattern.Planner.plan q.pattern)
+      queries
+  in
+  let config = Lpp_core.Config.a_lhd in
+  let session = Lpp_core.Estimator.make config ds.catalog in
+  (* run the whole workload twice through one session, in both orders *)
+  List.iter
+    (fun alg ->
+      ignore (Lpp_core.Estimator.session_estimate session alg))
+    algs;
+  List.iter
+    (fun alg ->
+      let fresh = Lpp_core.Estimator.estimate config ds.catalog alg in
+      let reused = Lpp_core.Estimator.session_estimate session alg in
+      Alcotest.(check int64) "reused session bit-identical"
+        (Int64.bits_of_float fresh)
+        (Int64.bits_of_float reused))
+    (List.rev algs)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_frozen_matches_hashtable;
+    Alcotest.test_case "frozen: packed layout parity" `Quick
+      test_packed_layout_matches;
+    Alcotest.test_case "frozen: freeze idempotent" `Quick test_freeze_idempotent;
+    Alcotest.test_case "frozen: updates refused" `Quick test_frozen_refuses_updates;
+    Alcotest.test_case "frozen: estimates bit-identical" `Quick
+      test_estimates_bit_identical;
+    Alcotest.test_case "frozen: session state isolation" `Quick
+      test_session_no_state_leak;
+  ]

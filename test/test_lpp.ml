@@ -16,6 +16,7 @@ let () =
       ("parse", Test_parse.suite);
       ("triangles", Test_triangles.suite);
       ("incremental", Test_incremental.suite);
+      ("frozen", Test_frozen.suite);
       ("harness", Test_harness.suite);
       ("graph_io", Test_graph_io.suite);
       ("formulas", Test_formulas.suite);
