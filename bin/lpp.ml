@@ -8,11 +8,18 @@
 
 open Cmdliner
 
-let dataset_of_name name ~seed =
+let dataset_of_name ?(smoke = false) name ~seed =
   match String.lowercase_ascii name with
-  | "snb" -> Lpp_datasets.Snb_gen.generate ~persons:500 ~seed ()
-  | "cineasts" -> Lpp_datasets.Cineasts_gen.generate ~movies:1200 ~seed ()
-  | "dbpedia" -> Lpp_datasets.Dbpedia_gen.generate ~entities:10_000 ~seed ()
+  | "snb" ->
+      Lpp_datasets.Snb_gen.generate ~persons:(if smoke then 120 else 500) ~seed ()
+  | "cineasts" ->
+      Lpp_datasets.Cineasts_gen.generate ~movies:(if smoke then 250 else 1200)
+        ~seed ()
+  | "dbpedia" ->
+      if smoke then
+        Lpp_datasets.Dbpedia_gen.generate ~entities:2000 ~classes:40
+          ~rel_kinds:25 ~seed ()
+      else Lpp_datasets.Dbpedia_gen.generate ~entities:10_000 ~seed ()
   | path when Sys.file_exists path -> begin
       (* a saved graph file (see `lpp export` / Lpp_pgraph.Graph_io) *)
       match Lpp_pgraph.Graph_io.load path with
@@ -232,6 +239,182 @@ let cmd_query =
        ~doc:"Parse openCypher-style patterns, estimate and count them")
     Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries)
 
+(* ---- lint ----------------------------------------------------------- *)
+
+let config_of_name name =
+  let canon =
+    String.lowercase_ascii name
+    |> String.map (function '_' | '%' -> '-' | c -> c)
+  in
+  let all = Lpp_core.Config.all @ [ Lpp_core.Config.a_lhdt ] in
+  match
+    List.find_opt
+      (fun c ->
+        let n =
+          String.lowercase_ascii (Lpp_core.Config.name c)
+          |> String.map (function '_' | '%' -> '-' | c -> c)
+        in
+        n = canon || n = canon ^ "-")
+      all
+  with
+  | Some c -> c
+  | None ->
+      failwith
+        (Printf.sprintf "unknown configuration %S (one of: %s)" name
+           (String.concat ", " (List.map Lpp_core.Config.name all)))
+
+let read_query_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line ->
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then go acc else go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let cmd_lint =
+  let run jobs name seed n props smoke json config_name file patterns =
+    set_jobs jobs;
+    let config = config_of_name config_name in
+    let ds = dataset_of_name name ~seed ~smoke in
+    Lpp_stats.Catalog.freeze ds.catalog;
+    let catalog_diags = Lpp_analysis.Catalog_check.run ds.catalog in
+    let from_file = match file with None -> [] | Some f -> read_query_file f in
+    let named = from_file @ patterns in
+    let texts_and_algs =
+      if named <> [] then
+        List.filter_map
+          (fun q ->
+            match Lpp_pattern.Parse.parse ds.graph q with
+            | Ok { pattern; _ } -> Some (q, Ok (Lpp_pattern.Planner.plan pattern))
+            | Error msg -> Some (q, Error msg))
+          named
+      else
+        List.map
+          (fun (q : Lpp_workload.Query_gen.query) ->
+            ( Format.asprintf "%a"
+                (Lpp_pattern.Pattern.pp ~names:(Some ds.graph))
+                q.pattern,
+              Ok (Lpp_pattern.Planner.plan q.pattern) ))
+          (gen_workload ds ~seed ~n ~props)
+    in
+    let reports =
+      List.map
+        (fun (text, alg) ->
+          match alg with
+          | Ok alg ->
+              (text, Ok (Lpp_analysis.Lint.check_sequence ~config ~catalog:ds.catalog alg))
+          | Error msg -> (text, Error msg))
+        texts_and_algs
+    in
+    let parse_errors =
+      List.length (List.filter (fun (_, r) -> Result.is_error r) reports)
+    in
+    let all_diags =
+      catalog_diags
+      @ List.concat_map
+          (fun (_, r) ->
+            match r with
+            | Ok rep -> Lpp_analysis.Lint.report_diagnostics rep
+            | Error _ -> [])
+          reports
+    in
+    let errors = Lpp_analysis.Diagnostic.count Error all_diags + parse_errors in
+    if json then begin
+      let seq_json (text, r) =
+        match r with
+        | Ok rep ->
+            let z = rep.Lpp_analysis.Lint.seq.Lpp_analysis.Seq_lint.provably_zero in
+            let sound =
+              match rep.Lpp_analysis.Lint.soundness with
+              | Some s -> string_of_bool s.Lpp_analysis.Soundness.sound
+              | None -> "null"
+            in
+            Printf.sprintf
+              "{\"pattern\":\"%s\",\"provably_zero\":%b,\"sound\":%s,\"diagnostics\":%s}"
+              (Lpp_analysis.Diagnostic.json_escape text)
+              z sound
+              (Lpp_analysis.Diagnostic.list_to_json
+                 (Lpp_analysis.Lint.report_diagnostics rep))
+        | Error msg ->
+            Printf.sprintf "{\"pattern\":\"%s\",\"parse_error\":\"%s\"}"
+              (Lpp_analysis.Diagnostic.json_escape text)
+              (Lpp_analysis.Diagnostic.json_escape msg)
+      in
+      Printf.printf
+        "{\"dataset\":\"%s\",\"config\":\"%s\",\"errors\":%d,\"catalog\":%s,\"sequences\":[%s]}\n"
+        (Lpp_analysis.Diagnostic.json_escape ds.name)
+        (Lpp_analysis.Diagnostic.json_escape (Lpp_core.Config.name config))
+        errors
+        (Lpp_analysis.Diagnostic.list_to_json catalog_diags)
+        (String.concat "," (List.map seq_json reports))
+    end
+    else begin
+      Printf.printf "catalog %s: %s\n" ds.name
+        (if catalog_diags = [] then "consistent"
+         else Printf.sprintf "%d finding(s)" (List.length catalog_diags));
+      List.iter
+        (fun d -> Format.printf "  %a@." Lpp_analysis.Diagnostic.pp d)
+        catalog_diags;
+      List.iter
+        (fun (text, r) ->
+          match r with
+          | Error msg -> Printf.printf "%s\n  parse error: %s\n" text msg
+          | Ok rep ->
+              let ds' = Lpp_analysis.Lint.report_diagnostics rep in
+              let verdict =
+                if rep.Lpp_analysis.Lint.seq.Lpp_analysis.Seq_lint.provably_zero
+                then "provably empty"
+                else if ds' = [] then "clean"
+                else Printf.sprintf "%d finding(s)" (List.length ds')
+              in
+              Printf.printf "%s: %s\n" text verdict;
+              List.iter
+                (fun d -> Format.printf "  %a@." Lpp_analysis.Diagnostic.pp d)
+                ds')
+        reports;
+      Printf.printf "%d sequence(s), %d error(s)\n" (List.length reports) errors
+    end;
+    if errors > 0 then Stdlib.exit 1
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Use reduced data set sizes (sub-second; for CI)")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON") in
+  let config =
+    Arg.(value & opt string "A-LHD"
+         & info [ "config"; "c" ] ~docv:"CFG"
+             ~doc:"Estimator configuration for the soundness pass \
+                   (S-L, A-L, A-LH, A-LD, A-LHD, A-LHD-10, A-LHDT)")
+  in
+  let file =
+    Arg.(value & opt (some string) None
+         & info [ "file"; "f" ] ~docv:"FILE"
+             ~doc:"Read patterns from FILE (one per line, # comments)")
+  in
+  let patterns =
+    Arg.(value & pos_all string [] & info [] ~docv:"PATTERN"
+         ~doc:"openCypher-style patterns; none = lint a generated workload")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyse operator sequences and the statistics catalog"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Runs the catalog consistency checker, the sequence lint and \
+               the estimate-soundness verifier (Lpp_analysis) over the given \
+               patterns — or over a generated workload — and exits non-zero \
+               if any error-severity diagnostic is found." ])
+    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg
+          $ props_arg $ smoke $ json $ config $ file $ patterns)
+
 let () =
   let info =
     Cmd.info "lpp" ~version:"1.0.0"
@@ -241,4 +424,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ cmd_datasets; cmd_workload; cmd_estimate; cmd_plan; cmd_query;
-            cmd_export ]))
+            cmd_export; cmd_lint ]))

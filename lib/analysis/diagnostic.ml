@@ -1,0 +1,71 @@
+type severity = Error | Warning | Hint
+
+type location = Op of int | Stats of string | Sequence
+
+type t = {
+  severity : severity;
+  code : string;
+  loc : location;
+  message : string;
+}
+
+let make severity ~code ~loc message = { severity; code; loc; message }
+
+let makef severity ~code ~loc fmt =
+  Format.kasprintf (fun message -> make severity ~code ~loc message) fmt
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let is_error d = d.severity = Error
+
+let has_errors ds = List.exists is_error ds
+
+let count sev ds =
+  List.fold_left (fun acc d -> if d.severity = sev then acc + 1 else acc) 0 ds
+
+let loc_rank = function Op i -> i | Stats _ | Sequence -> max_int
+
+let sort ds = List.stable_sort (fun a b -> compare (loc_rank a.loc) (loc_rank b.loc)) ds
+
+let pp_loc ppf = function
+  | Op i -> Format.fprintf ppf "op %d" i
+  | Stats s -> Format.fprintf ppf "stats:%s" s
+  | Sequence -> Format.fprintf ppf "sequence"
+
+let pp ppf d =
+  Format.fprintf ppf "[%s] %s @@ %a: %s"
+    (severity_string d.severity)
+    d.code pp_loc d.loc d.message
+
+(* RFC 8259 string escaping; the repo deliberately has no JSON dependency. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let loc_field =
+    match d.loc with
+    | Op i -> Printf.sprintf "\"op\":%d," i
+    | Stats s -> Printf.sprintf "\"stats\":\"%s\"," (json_escape s)
+    | Sequence -> ""
+  in
+  Printf.sprintf "{\"severity\":\"%s\",\"code\":\"%s\",%s\"message\":\"%s\"}"
+    (severity_string d.severity)
+    (json_escape d.code) loc_field (json_escape d.message)
+
+let list_to_json ds = "[" ^ String.concat "," (List.map to_json ds) ^ "]"

@@ -1,0 +1,60 @@
+(** Structured diagnostics shared by every analysis pass.
+
+    A diagnostic carries a severity, a stable machine-readable code (e.g.
+    ["LPP-A003"]; the [A] family is the sequence lint, [C] the catalog
+    checker, [S] the soundness verifier), a location — an operator index
+    into the sequence, a named statistics component, or the sequence as a
+    whole — and a human-readable message. Codes are part of the tool's
+    contract: tests and downstream tooling match on them, so existing codes
+    never change meaning. *)
+
+type severity = Error | Warning | Hint
+
+type location =
+  | Op of int  (** operator index in the analysed sequence *)
+  | Stats of string  (** catalog component, e.g. ["hierarchy"] *)
+  | Sequence  (** the sequence (or catalog) as a whole *)
+
+type t = {
+  severity : severity;
+  code : string;
+  loc : location;
+  message : string;
+}
+
+val make : severity -> code:string -> loc:location -> string -> t
+
+val makef :
+  severity ->
+  code:string ->
+  loc:location ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val severity_string : severity -> string
+
+val is_error : t -> bool
+
+val has_errors : t list -> bool
+
+val count : severity -> t list -> int
+
+val sort : t list -> t list
+(** Stable sort by location: operator diagnostics in op order first, then
+    statistics/whole-sequence ones. Within one location the incoming order
+    is preserved. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [[severity] CODE @ loc: message]. *)
+
+val json_escape : string -> string
+(** RFC 8259 string escaping (no surrounding quotes). *)
+
+val to_json : t -> string
+(** One JSON object, e.g.
+    [{"severity":"error","code":"LPP-A101","op":3,"message":"..."}] — the
+    location key is ["op"] (int) or ["stats"] (string) and is absent for
+    whole-sequence diagnostics. Strings are escaped per RFC 8259. *)
+
+val list_to_json : t list -> string
+(** JSON array of {!to_json} objects. *)

@@ -1,0 +1,25 @@
+(** Front end over the three analysis passes, as consumed by the [lpp lint]
+    subcommand and the harness. *)
+
+type sequence_report = {
+  seq : Seq_lint.t;
+  soundness : Soundness.t option;
+      (** present when a configuration was supplied *)
+}
+
+val check_sequence :
+  ?config:Lpp_core.Config.t ->
+  catalog:Lpp_stats.Catalog.t ->
+  Lpp_pattern.Algebra.t ->
+  sequence_report
+
+val report_diagnostics : sequence_report -> Diagnostic.t list
+(** Lint and soundness diagnostics of a report, in pass order. *)
+
+val provably_zero : catalog:Lpp_stats.Catalog.t -> Lpp_pattern.Algebra.t -> bool
+(** True when the sequence is structurally well-formed and some prefix is
+    provably empty (see {!Seq_lint}) — the contract behind the opt-in
+    zero-short-circuit in [Lpp_harness.Technique.ours]: the {e true}
+    cardinality of such a sequence is exactly 0. Malformed sequences are
+    never short-circuited (the estimator's behaviour on them, typically an
+    exception, is preserved). *)

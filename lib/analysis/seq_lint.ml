@@ -1,0 +1,264 @@
+open Lpp_pattern
+open Lpp_stats
+
+type t = {
+  diagnostics : Diagnostic.t list;
+  well_formed : bool;
+  provably_zero : bool;
+  zero_at : int option;
+}
+
+let code_of_violation : Algebra.Dataflow.violation -> string = function
+  | Node_var_out_of_range _ -> "LPP-A001"
+  | Node_var_unbound _ -> "LPP-A002"
+  | Node_var_rebound _ -> "LPP-A003"
+  | Rel_var_out_of_range _ -> "LPP-A004"
+  | Rel_var_unbound _ -> "LPP-A005"
+  | Rel_var_rebound _ -> "LPP-A006"
+  | Negative_label _ -> "LPP-A007"
+  | Empty_prop_selection -> "LPP-A008"
+  | Invalid_hop_range _ -> "LPP-A009"
+  | Merge_self _ -> "LPP-A010"
+
+(* The cycle a Merge_on closes, recomputed from the sequence itself: treat
+   every Merge_on (except the one under scrutiny) as an alias merge→keep,
+   project all Expand edges through the aliases, and measure the BFS distance
+   between the aliased endpoints of the scrutinised merge. That distance is
+   the length of the cycle the merge closes — the number Planner stores in
+   [cycle_len] (the triangle-aware estimator fires on 3). *)
+let check_cycles (alg : Algebra.t) add =
+  let nv = alg.node_vars in
+  let in_range v = v >= 0 && v < nv in
+  let merges = ref [] and expands = ref [] in
+  Array.iteri
+    (fun i op ->
+      match (op : Algebra.op) with
+      | Merge_on { keep; merge; cycle_len }
+        when in_range keep && in_range merge && keep <> merge ->
+          merges := (i, keep, merge, cycle_len) :: !merges
+      | Expand { src_var; dst_var; _ }
+        when in_range src_var && in_range dst_var ->
+          expands := (src_var, dst_var) :: !expands
+      | _ -> ())
+    alg.ops;
+  let merges = List.rev !merges and expands = List.rev !expands in
+  let n_merges = List.length merges in
+  List.iter
+    (fun (i, keep, merge, cycle_len) ->
+      let resolve v =
+        let v = ref v and steps = ref 0 and live = ref true in
+        while !live && !steps <= n_merges do
+          match List.find_opt (fun (j, _, m, _) -> j <> i && m = !v) merges with
+          | Some (_, k, _, _) ->
+              v := k;
+              incr steps
+          | None -> live := false
+        done;
+        !v
+      in
+      let a = resolve keep and b = resolve merge in
+      let adj = Array.make nv [] in
+      List.iter
+        (fun (s, d) ->
+          let s = resolve s and d = resolve d in
+          if in_range s && in_range d then begin
+            adj.(s) <- d :: adj.(s);
+            adj.(d) <- s :: adj.(d)
+          end)
+        expands;
+      let actual =
+        if not (in_range a && in_range b) then None
+        else begin
+          let dist = Array.make nv (-1) in
+          dist.(a) <- 0;
+          let q = Queue.create () in
+          Queue.add a q;
+          while not (Queue.is_empty q) do
+            let x = Queue.pop q in
+            List.iter
+              (fun y ->
+                if dist.(y) < 0 then begin
+                  dist.(y) <- dist.(x) + 1;
+                  Queue.add y q
+                end)
+              adj.(x)
+          done;
+          if dist.(b) < 0 then None else Some dist.(b)
+        end
+      in
+      match (cycle_len, actual) with
+      | Some k, Some d when k <> d ->
+          add
+            (Diagnostic.makef Warning ~code:"LPP-A120" ~loc:(Op i)
+               "cycle_len %d but this merge closes a cycle of length %d" k d)
+      | Some k, None ->
+          add
+            (Diagnostic.makef Warning ~code:"LPP-A120" ~loc:(Op i)
+               "cycle_len %d but the merged variables are not connected by \
+                Expands" k)
+      | None, Some d when d > 0 ->
+          add
+            (Diagnostic.makef Hint ~code:"LPP-A121" ~loc:(Op i)
+               "closes a cycle of length %d without cycle_len metadata" d)
+      | _ -> ())
+    merges
+
+let run ?catalog (alg : Algebra.t) =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  let zero_at = ref None in
+  let mark_zero i = if !zero_at = None then zero_at := Some i in
+  let hierarchy = Option.map Catalog.hierarchy catalog in
+  let partition = Option.map Catalog.partition catalog in
+  let hier_sub a b =
+    (* a strict sublabel of b, guarded against ids unknown to the catalog *)
+    match hierarchy with
+    | Some h ->
+        a >= 0 && b >= 0
+        && a < Label_hierarchy.label_count h
+        && b < Label_hierarchy.label_count h
+        && Label_hierarchy.is_strict_sublabel h a b
+    | None -> false
+  in
+  let part_disjoint a b =
+    match partition with
+    | Some d ->
+        a >= 0 && b >= 0
+        && a < Label_partition.label_count d
+        && b < Label_partition.label_count d
+        && Label_partition.disjoint d a b
+    | None -> false
+  in
+  let nvars = max alg.node_vars 1 and rvars = max alg.rel_vars 1 in
+  let node_props_seen = Array.make nvars [] in
+  let rel_props_seen = Array.make rvars [] in
+  let got_nodes = ref false in
+  let observe ~index (op : Algebra.op) before =
+    match op with
+    | Get_nodes _ ->
+        if !got_nodes then
+          add
+            (Diagnostic.makef Warning ~code:"LPP-A130" ~loc:(Op index)
+               "a second GetNodes overwrites the running cardinality \
+                (Algorithm 1 sets it, it does not multiply)");
+        got_nodes := true
+    | Label_selection { var; label } when label >= 0 ->
+        let prior = Algebra.Dataflow.labels_of before var in
+        if List.mem label prior then
+          add
+            (Diagnostic.makef Hint ~code:"LPP-A111" ~loc:(Op index)
+               "label %d already selected for node var %d" label var)
+        else begin
+          (match List.find_opt (fun l -> hier_sub l label) prior with
+          | Some sub ->
+              add
+                (Diagnostic.makef Hint ~code:"LPP-A110" ~loc:(Op index)
+                   "label %d is implied by already-selected sublabel %d" label
+                   sub)
+          | None -> ());
+          (match List.find_opt (fun l -> part_disjoint label l) prior with
+          | Some other ->
+              add
+                (Diagnostic.makef Error ~code:"LPP-A101" ~loc:(Op index)
+                   "labels %d and %d are in disjoint partition clusters: no \
+                    node carries both"
+                   other label);
+              mark_zero index
+          | None -> ())
+        end;
+        (match catalog with
+        | Some c when Catalog.nc c label = 0 ->
+            add
+              (Diagnostic.makef Error ~code:"LPP-A102" ~loc:(Op index)
+                 "no node carries label %d (catalog count 0)" label);
+            mark_zero index
+        | _ -> ())
+    | Label_selection _ -> ()
+    | Prop_selection { kind; var; props } ->
+        let seen =
+          match kind with
+          | Node_var when var >= 0 && var < nvars -> Some node_props_seen
+          | Rel_var when var >= 0 && var < rvars -> Some rel_props_seen
+          | _ -> None
+        in
+        let dup_keys = ref [] in
+        Array.iteri
+          (fun j (key, pred) ->
+            let within =
+              Array.exists
+                (fun (k', _) -> k' = key)
+                (Array.sub props 0 j)
+            in
+            let across =
+              match seen with
+              | Some tbl -> List.mem (key, pred) tbl.(var)
+              | None -> false
+            in
+            if (within || across) && not (List.mem key !dup_keys) then begin
+              dup_keys := key :: !dup_keys;
+              add
+                (Diagnostic.makef Hint ~code:"LPP-A112" ~loc:(Op index)
+                   "duplicate predicate on property key %d of %s var %d" key
+                   (match kind with Node_var -> "node" | Rel_var -> "rel")
+                   var)
+            end)
+          props;
+        (match seen with
+        | Some tbl -> tbl.(var) <- Array.to_list props @ tbl.(var)
+        | None -> ())
+    | Expand { types; _ } -> (
+        match catalog with
+        | Some c when Array.length types > 0 ->
+            let zero ty = Catalog.rel_type_total c ty = 0 in
+            if Array.for_all zero types then begin
+              add
+                (Diagnostic.makef Error ~code:"LPP-A103" ~loc:(Op index)
+                   "no relationship has any of the %d allowed types (all \
+                    catalog counts 0)"
+                   (Array.length types));
+              mark_zero index
+            end
+            else
+              Array.iter
+                (fun ty ->
+                  if zero ty then
+                    add
+                      (Diagnostic.makef Hint ~code:"LPP-A113" ~loc:(Op index)
+                         "relationship type %d never occurs in the data" ty))
+                types
+        | _ -> ())
+    | Merge_on { keep; merge; cycle_len = _ } -> (
+        let lk = Algebra.Dataflow.labels_of before keep in
+        let lm = Algebra.Dataflow.labels_of before merge in
+        let conflict =
+          List.find_map
+            (fun a ->
+              List.find_map
+                (fun b -> if part_disjoint a b then Some (a, b) else None)
+                lm)
+            lk
+        in
+        match conflict with
+        | Some (a, b) ->
+            add
+              (Diagnostic.makef Error ~code:"LPP-A104" ~loc:(Op index)
+                 "merge unifies variables with disjoint labels %d and %d" a b);
+            mark_zero index
+        | None -> ())
+  in
+  let violations = Algebra.Dataflow.scan ~observe alg in
+  List.iter
+    (fun (i, v) ->
+      add
+        (Diagnostic.make Error
+           ~code:(code_of_violation v)
+           ~loc:(Op i)
+           (Algebra.Dataflow.message v)))
+    violations;
+  check_cycles alg add;
+  {
+    diagnostics = Diagnostic.sort (List.rev !acc);
+    well_formed = violations = [];
+    provably_zero = !zero_at <> None;
+    zero_at = !zero_at;
+  }

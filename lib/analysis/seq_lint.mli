@@ -1,0 +1,42 @@
+(** Sequence lint: semantic dataflow checks over an operator sequence.
+
+    Built on [Algebra.Dataflow.scan]: structural well-formedness violations
+    become [LPP-A001]–[LPP-A010] errors, and per-prefix state (bound
+    variables, accumulated label sets) feeds the semantic checks. With a
+    catalog the lint can prove a prefix empty — the result is then marked
+    {e provably zero}: the true cardinality of the sequence is exactly 0,
+    whatever the estimator computes for it.
+
+    Codes (stable):
+    - [LPP-A001]–[LPP-A010] (Error): structural, one per
+      [Algebra.Dataflow.violation] constructor in declaration order.
+    - [LPP-A101] (Error, zero): a variable selects two labels that
+      [Label_partition] proves disjoint.
+    - [LPP-A102] (Error, zero): selected label has catalog count 0 (unknown
+      or unused label).
+    - [LPP-A103] (Error, zero): every relationship type of an Expand has
+      count 0.
+    - [LPP-A104] (Error, zero): [Merge_on] unifies variables whose selected
+      labels are provably disjoint.
+    - [LPP-A110] (Hint): label selection implied by an already-selected
+      strict sublabel.
+    - [LPP-A111] (Hint): duplicate label selection on one variable.
+    - [LPP-A112] (Hint): duplicate property predicate on one variable.
+    - [LPP-A113] (Hint): some (not all) Expand types have count 0.
+    - [LPP-A120] (Warning): [Merge_on cycle_len] disagrees with the cycle
+      actually closed by the sequence's Expands.
+    - [LPP-A121] (Hint): a closed cycle lacks [cycle_len] metadata.
+    - [LPP-A130] (Warning): a second [Get_nodes] discards the running
+      cardinality (Algorithm 1 sets, not multiplies). *)
+
+type t = {
+  diagnostics : Diagnostic.t list;  (** sorted by op index *)
+  well_formed : bool;  (** no structural (A001–A010) violation *)
+  provably_zero : bool;
+      (** some prefix is provably empty: true cardinality is exactly 0 *)
+  zero_at : int option;  (** first op index proving emptiness *)
+}
+
+val run : ?catalog:Lpp_stats.Catalog.t -> Lpp_pattern.Algebra.t -> t
+(** Without a catalog only the structural, duplicate and cycle-metadata
+    checks run (nothing is provably zero). *)

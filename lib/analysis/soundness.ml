@@ -1,0 +1,193 @@
+open Lpp_pgraph
+open Lpp_pattern
+open Lpp_stats
+
+type interval = { lo : float; hi : float }
+
+type t = {
+  intervals : interval array;
+  diagnostics : Diagnostic.t list;
+  sound : bool;
+  counterexample : int option;
+}
+
+let fi = float_of_int
+
+let safe_div num den = if den <= 0.0 then 0.0 else num /. den
+
+(* Outward rounding slack: the estimator sums and multiplies at most a few
+   million IEEE-754 terms per operator, so widening every derived bound by a
+   relative 1e-9 dominates the accumulated (1 + ulp)^n reordering error. *)
+let up x = x *. 1.000000001
+
+let mul_up a b = up (a *. b)
+
+let verify (config : Lpp_core.Config.t) cat (alg : Algebra.t) =
+  match Algebra.validate alg with
+  | Error msg ->
+      {
+        intervals = [||];
+        diagnostics =
+          [
+            Diagnostic.makef Error ~code:"LPP-S003" ~loc:Sequence
+              "sequence is malformed (%s): nothing to verify" msg;
+          ];
+        sound = false;
+        counterexample = None;
+      }
+  | Ok () ->
+      let labels = Catalog.label_count cat in
+      let diags = ref [] in
+      let counterexample = ref None in
+      let fail i d =
+        diags := d :: !diags;
+        if !counterexample = None then counterexample := Some i
+      in
+      (* Upper bound on one hop's expansion factor: representatives carry
+         distinct labels with probabilities ≤ 1, so the factor is at most the
+         sum of every label's (unrestricted) mean degree plus the wildcard's.
+         Each deg term is the estimator's own float expression. *)
+      let expand_bound ~dir ~types =
+        let deg node base =
+          safe_div (fi (Catalog.rc cat ~dir ~node ~types ~other:None)) (fi base)
+        in
+        let sum = ref 0.0 in
+        for l = 0 to labels - 1 do
+          sum := !sum +. Float.max 0.0 (deg (Some l) (Catalog.nc cat l))
+        done;
+        up (!sum +. Float.max 0.0 (deg None (Catalog.nc_star cat)))
+      in
+      (* Upper bound on a Merge_on reduction: per representative pair
+         pk·pm/NC(ℓ) ≤ 1/NC(ℓ) over distinct labels, plus the unlabeled
+         1/NC(✱) term. *)
+      let merge_bound =
+        lazy
+          begin
+            let sum = ref 0.0 in
+            for l = 0 to labels - 1 do
+              let c = Catalog.nc cat l in
+              if c > 0 then sum := !sum +. (1.0 /. fi c)
+            done;
+            let ns = Catalog.nc_star cat in
+            up (!sum +. (if ns > 0 then 1.0 /. fi ns else 0.0))
+          end
+      in
+      let n_ops = Array.length alg.ops in
+      let intervals = Array.make n_ops { lo = 0.0; hi = 0.0 } in
+      let chi = ref 0.0 in
+      (* Bound on safe_div(card, last_expand_factor) — the wedge count the
+         triangle-aware merge re-bases on. Established at each Expand as
+         up(pre-Expand χ) + 1 (the absolute +1 absorbs the subnormal corner
+         where a quotient's rounding error is not relative), then carried
+         through every subsequent multiplier. *)
+      let wedge_hi = ref 0.0 in
+      let last_dir = ref Direction.Out in
+      let bump_wedge m =
+        wedge_hi :=
+          (if Float.is_finite !wedge_hi then mul_up !wedge_hi m
+           else Float.infinity)
+      in
+      Array.iteri
+        (fun i op ->
+          let lo = ref 0.0 in
+          (match (op : Algebra.op) with
+          | Get_nodes _ ->
+              let total = Float.max 0.0 (fi (Catalog.nc_star cat)) in
+              chi := total;
+              lo := total;
+              wedge_hi := total
+          | Label_selection { label; _ } ->
+              if label < 0 || label >= labels then begin
+                chi := 0.0;
+                wedge_hi := 0.0
+              end
+              else begin
+                chi := mul_up !chi 1.0;
+                bump_wedge 1.0
+              end
+          | Prop_selection _ -> begin
+              match config.property_mode with
+              | Use_stats ->
+                  chi := mul_up !chi 1.0;
+                  bump_wedge 1.0
+              | Fixed f ->
+                  if not (Float.is_finite f) || f < 0.0 || f > 1.0 then
+                    fail i
+                      (Diagnostic.makef Error ~code:"LPP-S002" ~loc:(Op i)
+                         "fixed property selectivity %g is outside [0, 1]" f);
+                  if Float.is_finite f && f >= 0.0 then begin
+                    chi := mul_up !chi f;
+                    bump_wedge f
+                  end
+                  else begin
+                    (* negative or NaN factor: the estimator's end-of-op clamp
+                       leaves 0 (negative) or NaN (unsound anyway) *)
+                    chi := 0.0;
+                    wedge_hi := 0.0
+                  end
+            end
+          | Expand { types; dir; hops; _ } ->
+              last_dir := dir;
+              let u = expand_bound ~dir ~types in
+              let factor =
+                match hops with
+                | None -> u
+                | Some (lo_h, hi_h) ->
+                    let total = ref 0.0 and pow = ref 1.0 in
+                    for k = 1 to hi_h do
+                      pow := mul_up !pow u;
+                      if k >= lo_h then total := up (!total +. !pow)
+                    done;
+                    !total
+              in
+              wedge_hi := up !chi +. 1.0;
+              chi := mul_up !chi factor
+          | Merge_on { cycle_len; _ } ->
+              if config.use_triangles && cycle_len = Some 3 then begin
+                let ts = Catalog.triangles cat in
+                let rate =
+                  match !last_dir with
+                  | Direction.Out | Direction.In ->
+                      ts.Triangle_stats.rate_directed
+                  | Direction.Both -> ts.Triangle_stats.rate_undirected
+                in
+                if not (Float.is_finite rate) || rate < 0.0 then begin
+                  fail i
+                    (Diagnostic.makef Error ~code:"LPP-S004" ~loc:(Op i)
+                       "triangle closure rate %g is negative or not finite"
+                       rate);
+                  chi := Float.max 0.0 rate
+                end
+                else chi := up (mul_up !wedge_hi rate);
+                (* the re-based cardinality has no usable relation to
+                   last_expand_factor any more *)
+                wedge_hi := Float.infinity
+              end
+              else begin
+                let m = Lazy.force merge_bound in
+                chi := mul_up !chi m;
+                bump_wedge m
+              end);
+          chi := Float.max !chi 0.0;
+          if not (Float.is_finite !chi) then begin
+            if
+              not
+                (List.exists
+                   (fun (d : Diagnostic.t) -> d.code = "LPP-S001")
+                   !diags)
+            then
+              fail i
+                (Diagnostic.makef Error ~code:"LPP-S001" ~loc:(Op i)
+                   "cardinality upper bound overflows: finiteness is not \
+                    provable from this operator on");
+            chi := Float.infinity
+          end;
+          intervals.(i) <- { lo = !lo; hi = !chi })
+        alg.ops;
+      let diagnostics = Diagnostic.sort (List.rev !diags) in
+      {
+        intervals;
+        diagnostics;
+        sound = diagnostics = [];
+        counterexample = !counterexample;
+      }

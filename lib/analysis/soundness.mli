@@ -1,0 +1,46 @@
+(** Estimate-soundness verifier: an interval pass mirroring [Estimator]'s
+    arithmetic for one sequence × configuration × catalog.
+
+    For each operator it derives a conservative interval guaranteed to
+    contain the estimator's running cardinality after that operator, using
+    only the catalog (never running the estimator): [Get_nodes] pins the
+    cardinality to NC(✱); selections multiply by at most 1; an [Expand]
+    multiplies by at most Σ_ℓ deg(ℓ) + deg(✱) (representatives carry
+    distinct labels with probabilities ≤ 1); a [Merge_on] by at most
+    Σ_{NC(ℓ)>0} 1/NC(ℓ) + 1/NC(✱); the triangle-aware merge re-bases on a
+    tracked wedge-count bound times the closure rate. Every bound is widened
+    by a relative slack (plus an absolute term where float rounding can step
+    over a product) so the intervals hold for the estimator's actual
+    floating-point evaluation, not just the real-valued one.
+
+    If every upper bound stays finite, the verdict [sound] certifies: the
+    estimate is finite and ≥ 0, and every propagated label probability stays
+    in [0, 1] — probabilities are structurally clamped ([Label_probs]) and,
+    with all magnitudes bounded, no overflow can manufacture the NaN that
+    would escape the clamp.
+
+    Codes (stable):
+    - [LPP-S001] (Error): finiteness unprovable — the cardinality upper
+      bound overflows at the reported op (counterexample).
+    - [LPP-S002] (Error): configured fixed property selectivity outside
+      [0, 1] or not finite.
+    - [LPP-S003] (Error): sequence is structurally malformed; nothing to
+      verify.
+    - [LPP-S004] (Error): triangle closure rate is negative or not finite.
+
+    Assumption, stated rather than checked here: [Prop_stats.selectivity]
+    returns values in [0, 1] (they are ratios of counted occurrences). *)
+
+type interval = { lo : float; hi : float }
+
+type t = {
+  intervals : interval array;
+      (** per-op bounds on the running cardinality; empty on [LPP-S003] *)
+  diagnostics : Diagnostic.t list;
+  sound : bool;
+  counterexample : int option;
+      (** first op where the proof fails, when [not sound] *)
+}
+
+val verify :
+  Lpp_core.Config.t -> Lpp_stats.Catalog.t -> Lpp_pattern.Algebra.t -> t

@@ -20,6 +20,7 @@ type deg_entry = {
 
 type session = {
   config : Config.t;
+  checks : bool;
   catalog : Catalog.t;
   hierarchy : Label_hierarchy.t;  (* trivial when H_L is switched off *)
   partition : Label_partition.t;  (* trivial when D_L is switched off *)
@@ -45,11 +46,12 @@ type session = {
   mutable deg_entries : deg_entry list;  (* per-(dir, types) cache *)
 }
 
-let make config catalog =
+let make ?(checks = false) config catalog =
   let labels = Catalog.label_count catalog in
   let n = max labels 1 in
   {
     config;
+    checks;
     catalog;
     hierarchy =
       (if config.Config.use_hierarchy then Catalog.hierarchy catalog
@@ -564,9 +566,34 @@ let apply_op st (op : Algebra.op) =
       else apply_merge_on st ~keep ~merge);
   if st.card < 0.0 then st.card <- 0.0
 
+(* Runtime assertion mode (opt-in, [make ~checks:true]): after every operator
+   the invariants the soundness verifier proves statically — cardinality
+   finite and ≥ 0, every live probability in [0, 1] — are re-checked against
+   the actual state, failing loudly instead of propagating garbage. *)
+let assert_sound st i op =
+  let bad fmt = Format.kasprintf failwith fmt in
+  if Float.is_nan st.card || st.card = Float.infinity || st.card < 0.0 then
+    bad "estimator soundness violated after op %d (%a): cardinality %h" i
+      Algebra.pp_op op st.card;
+  List.iter
+    (fun var ->
+      for label = 0 to Label_probs.label_count st.probs - 1 do
+        let p = Label_probs.get st.probs ~var ~label in
+        if Float.is_nan p || p < 0.0 || p > 1.0 then
+          bad "estimator soundness violated after op %d (%a): P(v%d:L%d) = %h"
+            i Algebra.pp_op op var label p
+      done)
+    (Label_probs.live_vars st.probs)
+
 let session_estimate st (alg : Algebra.t) =
   begin_estimate st alg;
-  Array.iter (apply_op st) alg.ops;
+  if st.checks then
+    Array.iteri
+      (fun i op ->
+        apply_op st op;
+        assert_sound st i op)
+      alg.ops
+  else Array.iter (apply_op st) alg.ops;
   st.card
 
 let session_estimate_pattern st pattern =

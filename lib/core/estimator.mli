@@ -34,11 +34,18 @@
 
 type session
 
-val make : Config.t -> Lpp_stats.Catalog.t -> session
+val make : ?checks:bool -> Config.t -> Lpp_stats.Catalog.t -> session
 (** Resolve the configuration against the catalog once and preallocate all
     scratch state. The session reads the catalog lazily at estimate time, so
     freezing ({!Lpp_stats.Catalog.freeze}) or incremental updates between
-    estimates are picked up. *)
+    estimates are picked up.
+
+    [checks] (default [false]) enables the runtime assertion mode: after
+    every operator the session verifies the invariants
+    [Lpp_analysis.Soundness] proves statically — cardinality finite and
+    ≥ 0, every live label probability in [0, 1] — and raises [Failure]
+    naming the offending operator otherwise. Estimates are bit-identical
+    with checks on or off. *)
 
 val session_estimate : session -> Lpp_pattern.Algebra.t -> float
 (** Like {!estimate}, reusing the session's state. *)

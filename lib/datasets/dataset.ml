@@ -19,7 +19,24 @@ let make ?hierarchy_pairs ~name graph =
         Label_hierarchy.of_pairs ~labels:(Graph.label_count graph) id_pairs)
       hierarchy_pairs
   in
-  { name; graph; catalog = Catalog.build_with ?hierarchy graph }
+  let catalog = Catalog.build_with ?hierarchy graph in
+  (* Debug guard: with LPP_DEBUG_CHECKS set (anything but 0/false/empty),
+     every freshly built dataset catalog runs the consistency checker; an
+     inconsistent one fails loudly instead of skewing every estimate. *)
+  (match Sys.getenv_opt "LPP_DEBUG_CHECKS" with
+  | None | Some ("" | "0" | "false") -> ()
+  | Some _ ->
+      let diags = Lpp_analysis.Catalog_check.run catalog in
+      List.iter
+        (fun d ->
+          Format.eprintf "[%s catalog] %a@." name Lpp_analysis.Diagnostic.pp d)
+        diags;
+      if Lpp_analysis.Diagnostic.has_errors diags then
+        failwith
+          (Printf.sprintf
+             "dataset %s: catalog consistency check failed (%d errors)" name
+             (Lpp_analysis.Diagnostic.count Error diags)));
+  { name; graph; catalog }
 
 let summary_headers =
   [ "data set"; "nodes"; "rels"; "props"; "labels"; "rel types"; "prop keys";

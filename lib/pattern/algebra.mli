@@ -43,10 +43,58 @@ type t = {
   rel_vars : int;  (** relationship variable ids are [0 .. rel_vars-1] *)
 }
 
+(** Structural dataflow pass over an operator sequence.
+
+    [scan] walks the sequence front to back tracking which node/relationship
+    variables are bound and which labels each node variable has accumulated,
+    and collects {e every} well-formedness violation rather than stopping at
+    the first: after reporting, the pass recovers (an unbound use binds the
+    variable, a rebinding keeps it bound) so later operators are still
+    checked. {!Algebra.validate} and the semantic linter in [Lpp_analysis]
+    are both built on this pass. *)
+module Dataflow : sig
+  type violation =
+    | Node_var_out_of_range of int
+    | Node_var_unbound of int  (** used before introduction *)
+    | Node_var_rebound of int  (** introduced twice *)
+    | Rel_var_out_of_range of int
+    | Rel_var_unbound of int
+    | Rel_var_rebound of int
+    | Negative_label of int
+    | Empty_prop_selection
+    | Invalid_hop_range of int * int
+    | Merge_self of int  (** [Merge_on] of a variable with itself *)
+
+  val message : violation -> string
+  (** Human-readable message, identical to the historical
+      {!Algebra.validate} error strings. *)
+
+  (** The per-prefix dataflow state, observable during a scan. Queries are
+      total: out-of-range variables read as unbound with no labels. *)
+  type state
+
+  val node_bound : state -> int -> bool
+  val rel_bound : state -> int -> bool
+
+  val labels_of : state -> int -> int list
+  (** Labels accumulated by [Label_selection] on a node variable so far, in
+      selection order; a [Merge_on] folds the merged variable's labels into
+      the kept one. *)
+
+  val scan :
+    ?observe:(index:int -> op -> state -> unit) -> t -> (int * violation) list
+  (** All violations as [(op index, violation)] pairs, in sequence order
+      (and, within one operator, in check order). [observe] is called for
+      every operator {e before} its checks and state effects are applied,
+      with the state of the prefix preceding it. *)
+end
+
 val validate : t -> (unit, string) result
 (** Well-formedness: each variable is introduced exactly once before use, the
     first operator introducing a node variable is [Get_nodes] or [Expand],
-    [Merge_on] drops a live variable, and variable ids stay within bounds. *)
+    [Merge_on] drops a live variable, and variable ids stay within bounds.
+    A thin wrapper over {!Dataflow.scan} reporting the first violation;
+    use the scan directly to get all of them. *)
 
 val op_count : t -> int
 

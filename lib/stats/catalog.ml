@@ -278,6 +278,11 @@ let fz_get f ~l1 ~typ ~l2 =
         if !lo < Array.length keys && keys.(!lo) = key then counts.(!lo) else 0
   end
 
+let rc_directed_unfrozen t ~src ~types ~dst =
+  if Array.length types = 0 then get t.any_type (src, dst)
+  else
+    Array.fold_left (fun acc ty -> acc + get t.triples (src, ty, dst)) 0 types
+
 let rc_directed t ~src ~types ~dst =
   match t.frozen with
   | Some f ->
@@ -289,10 +294,7 @@ let rc_directed t ~src ~types ~dst =
                the hashtable path answers 0 for it, so must we *)
             if ty < 0 then acc else acc + fz_get f ~l1:src ~typ:ty ~l2:dst)
           0 types
-  | None ->
-      if Array.length types = 0 then get t.any_type (src, dst)
-      else
-        Array.fold_left (fun acc ty -> acc + get t.triples (src, ty, dst)) 0 types
+  | None -> rc_directed_unfrozen t ~src ~types ~dst
 
 let rc t ~dir ~node ~types ~other =
   let node = wild node and other = wild other in
@@ -304,6 +306,37 @@ let rc t ~dir ~node ~types ~other =
       + rc_directed t ~src:other ~types ~dst:node
 
 let simple_rc t ~dir ~node ~types = rc t ~dir ~node ~types ~other:None
+
+let rc_unfrozen t ~dir ~node ~types ~other =
+  let node = wild node and other = wild other in
+  match (dir : Direction.t) with
+  | Out -> rc_directed_unfrozen t ~src:node ~types ~dst:other
+  | In -> rc_directed_unfrozen t ~src:other ~types ~dst:node
+  | Both ->
+      rc_directed_unfrozen t ~src:node ~types ~dst:other
+      + rc_directed_unfrozen t ~src:other ~types ~dst:node
+
+let type_count t = Array.length t.rel_type_totals
+
+let unwild l = if l = star then None else Some l
+
+let iter_triples t f =
+  Hashtbl.iter
+    (fun (l1, ty, l2) count ->
+      f ~src:(unwild l1) ~typ:(Some ty) ~dst:(unwild l2) ~count)
+    t.triples;
+  Hashtbl.iter
+    (fun (l1, l2) count -> f ~src:(unwild l1) ~typ:None ~dst:(unwild l2) ~count)
+    t.any_type
+
+let unsafe_set_rc t ~src ~typ ~dst count =
+  let l1 = wild src and l2 = wild dst in
+  match typ with
+  | Some ty -> Hashtbl.replace t.triples (l1, ty, l2) count
+  | None -> Hashtbl.replace t.any_type (l1, l2) count
+
+let unsafe_set_nc t l count =
+  if l >= 0 && l < Array.length t.nc then t.nc.(l) <- count
 
 let rc_row t ~dir ~node ~types ~row =
   let len = Array.length row in

@@ -69,6 +69,45 @@ val simple_rc :
   t -> dir:Lpp_pgraph.Direction.t -> node:int option -> types:int array -> int
 (** Neo4j's pair counts: [rc] with [other = None]. *)
 
+val type_count : t -> int
+(** Number of relationship type ids the catalog has counters for. *)
+
+val rc_unfrozen : t ->
+  dir:Lpp_pgraph.Direction.t ->
+  node:int option ->
+  types:int array ->
+  other:int option ->
+  int
+(** Like {!rc} but always answered from the mutable hashtables, bypassing a
+    frozen snapshot — ground truth for the frozen≡mutable consistency check
+    in [Lpp_analysis.Catalog_check]. Equal to {!rc} on an unfrozen catalog. *)
+
+val iter_triples :
+  t ->
+  (src:int option ->
+  typ:int option ->
+  dst:int option ->
+  count:int ->
+  unit) ->
+  unit
+(** Iterate every occupied RC entry, wildcard projections included:
+    [src]/[dst] are [None] for the [*] side, [typ = None] for the any-type
+    projection. Order is unspecified. *)
+
+(** {1 Test-only corruption hooks}
+
+    Raw writes into the statistics tables that bypass both the frozen-catalog
+    refusal and the incremental bookkeeping ([pair_entries], totals, frozen
+    snapshots). They exist solely so tests can manufacture inconsistent
+    catalogs for [Lpp_analysis.Catalog_check]; production code must use the
+    [note_*] API. *)
+
+val unsafe_set_rc :
+  t -> src:int option -> typ:int option -> dst:int option -> int -> unit
+
+val unsafe_set_nc : t -> int -> int -> unit
+(** [unsafe_set_nc t l count] overwrites NC(ℓ); out-of-range ids ignored. *)
+
 val rc_row :
   t ->
   dir:Lpp_pgraph.Direction.t ->

@@ -68,6 +68,8 @@ let of_direct ~labels direct_supers =
     sets;
   { supers = Array.map (fun s -> Array.of_list (IS.elements s)) sets }
 
+let unsafe_of_supers supers = { supers }
+
 let of_pairs ~labels pairs =
   List.iter
     (fun (c, p) ->

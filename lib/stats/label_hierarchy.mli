@@ -15,6 +15,11 @@ val of_pairs : labels:int -> (int * int) list -> t
     child ⊑ parent; the transitive closure is computed.
     @raise Invalid_argument on a cyclic declaration or out-of-range ids. *)
 
+val unsafe_of_supers : int array array -> t
+(** Test-only: wrap a raw [supers] table (label → ascending strict
+    superlabels) with no closure, acyclicity or range checking, so tests can
+    manufacture broken hierarchies for [Lpp_analysis.Catalog_check]. *)
+
 val infer : Lpp_pgraph.Graph.t -> t
 (** Schema inference: ℓᵢ ⊑ ℓⱼ iff extent(ℓᵢ) ⊆ extent(ℓⱼ) in the data and
     extent(ℓᵢ) is non-empty. Labels with identical extents are ordered by id to

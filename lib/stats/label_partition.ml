@@ -55,6 +55,8 @@ let of_clusters ~labels groups =
     cluster;
   of_cluster_array cluster
 
+let unsafe_make ~cluster ~members = { cluster; members }
+
 (* Union-find over labels, merging labels that co-occur on a node. *)
 let infer g =
   let n = Graph.label_count g in

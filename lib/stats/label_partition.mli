@@ -14,6 +14,11 @@ val of_clusters : labels:int -> int list list -> t
 (** Explicit clusters; unlisted labels each get a singleton cluster.
     @raise Invalid_argument if a label appears twice or is out of range. *)
 
+val unsafe_make : cluster:int array -> members:int array array -> t
+(** Test-only: wrap raw [cluster]/[members] tables with no well-formedness
+    checking, so tests can manufacture broken partitions (overlaps, missing
+    labels) for [Lpp_analysis.Catalog_check]. *)
+
 val infer : Lpp_pgraph.Graph.t -> t
 
 val label_count : t -> int

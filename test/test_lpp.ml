@@ -21,5 +21,6 @@ let () =
       ("graph_io", Test_graph_io.suite);
       ("formulas", Test_formulas.suite);
       ("properties", Test_properties.suite);
+      ("analysis", Test_analysis.suite);
       ("parallel", Test_parallel.suite);
     ]
