@@ -632,4 +632,7 @@ let all : (string * string * (Env.t -> unit)) list =
     ( "throughput",
       "estimator throughput before/after Catalog.freeze + sessions",
       Throughput.run );
+    ( "obs_overhead",
+      "observability overhead: session estimates with tracing off vs on",
+      Obs_overhead.run );
   ]

@@ -1,0 +1,66 @@
+(* Helpers shared by the lpp subcommands.
+
+   Pattern-driven subcommands (lint, trace) agree on one contract: patterns
+   come from [-f FILE] (one per line, # comments) plus positional arguments,
+   with a generated workload as the fallback when neither is given, and the
+   process exits 1 iff any pattern failed to parse or an error-severity
+   diagnostic was produced (0 = clean). *)
+
+let read_query_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line ->
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then go acc else go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* The named patterns with their parse results — or, when no pattern was
+   named, the caller's generated-workload fallback (those always parse). *)
+let load_patterns (ds : Lpp_datasets.Dataset.t) ~file ~patterns ~fallback =
+  let from_file = match file with None -> [] | Some f -> read_query_file f in
+  let named = from_file @ patterns in
+  if named <> [] then
+    List.map
+      (fun q ->
+        match Lpp_pattern.Parse.parse ds.graph q with
+        | Ok { pattern; _ } -> (q, Ok pattern)
+        | Error msg -> (q, Error msg))
+      named
+  else
+    List.map
+      (fun (q : Lpp_workload.Query_gen.query) ->
+        ( Format.asprintf "%a"
+            (Lpp_pattern.Pattern.pp ~names:(Some ds.graph))
+            q.pattern,
+          Ok q.pattern ))
+      (fallback ())
+
+let exit_if_errors errors = if errors > 0 then Stdlib.exit 1
+
+(* Run [f] with observability on when any sink was requested, writing the
+   requested sinks afterwards (even if [f] exits through an exception). *)
+let with_obs ?trace_out ?metrics_out f =
+  if trace_out = None && metrics_out = None then f ()
+  else begin
+    Lpp_obs.Obs.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter
+          (fun path ->
+            Lpp_obs.Export.write_chrome_trace path;
+            Printf.eprintf "wrote Chrome trace to %s\n%!" path)
+          trace_out;
+        Option.iter
+          (fun path ->
+            Lpp_obs.Export.write_metrics path;
+            Printf.eprintf "wrote metrics to %s\n%!" path)
+          metrics_out;
+        Lpp_obs.Obs.disable ())
+      f
+  end

@@ -53,6 +53,17 @@ let jobs_arg =
 
 let set_jobs jobs = Option.iter Lpp_util.Pool.set_default_jobs jobs
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record spans and write a Chrome trace_event JSON file \
+                 (load with about:tracing or Perfetto)")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Record counters/histograms and write them as JSON")
+
 let gen_workload ds ~seed ~n ~props =
   let flavour =
     if props then Lpp_workload.Query_gen.With_props
@@ -108,8 +119,9 @@ let cmd_workload =
 (* ---- estimate ------------------------------------------------------- *)
 
 let cmd_estimate =
-  let run jobs name seed n props =
+  let run jobs name seed n props trace_out metrics_out =
     set_jobs jobs;
+    Cli_common.with_obs ?trace_out ?metrics_out @@ fun () ->
     let ds = dataset_of_name name ~seed in
     let qs = gen_workload ds ~seed ~n ~props in
     Lpp_stats.Catalog.freeze ds.catalog;
@@ -144,7 +156,8 @@ let cmd_estimate =
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Estimate a generated workload with every configuration of our technique")
-    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg $ props_arg)
+    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg
+          $ props_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ---- plan ----------------------------------------------------------- *)
 
@@ -196,8 +209,9 @@ let cmd_export =
 (* ---- query ---------------------------------------------------------- *)
 
 let cmd_query =
-  let run jobs name seed queries =
+  let run jobs name seed trace_out metrics_out queries =
     set_jobs jobs;
+    Cli_common.with_obs ?trace_out ?metrics_out @@ fun () ->
     let ds = dataset_of_name name ~seed in
     Lpp_stats.Catalog.freeze ds.catalog;
     let sessions =
@@ -237,7 +251,8 @@ let cmd_query =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Parse openCypher-style patterns, estimate and count them")
-    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries)
+    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ trace_out_arg
+          $ metrics_out_arg $ queries)
 
 (* ---- lint ----------------------------------------------------------- *)
 
@@ -263,19 +278,26 @@ let config_of_name name =
         (Printf.sprintf "unknown configuration %S (one of: %s)" name
            (String.concat ", " (List.map Lpp_core.Config.name all)))
 
-let read_query_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | line ->
-            let line = String.trim line in
-            if line = "" || line.[0] = '#' then go acc else go (line :: acc)
-        | exception End_of_file -> List.rev acc
-      in
-      go [])
+(* Arguments shared by the pattern-driven subcommands (lint, trace); both
+   load patterns through Cli_common.load_patterns and exit 1 on errors. *)
+let smoke_arg =
+  Arg.(value & flag
+       & info [ "smoke" ] ~doc:"Use reduced data set sizes (sub-second; for CI)")
+
+let config_arg =
+  Arg.(value & opt string "A-LHD"
+       & info [ "config"; "c" ] ~docv:"CFG"
+           ~doc:"Estimator configuration \
+                 (S-L, A-L, A-LH, A-LD, A-LHD, A-LHD-10, A-LHDT)")
+
+let file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "file"; "f" ] ~docv:"FILE"
+           ~doc:"Read patterns from FILE (one per line, # comments)")
+
+let patterns_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"PATTERN"
+       ~doc:"openCypher-style patterns; none = use a generated workload")
 
 let cmd_lint =
   let run jobs name seed n props smoke json config_name file patterns =
@@ -284,24 +306,11 @@ let cmd_lint =
     let ds = dataset_of_name name ~seed ~smoke in
     Lpp_stats.Catalog.freeze ds.catalog;
     let catalog_diags = Lpp_analysis.Catalog_check.run ds.catalog in
-    let from_file = match file with None -> [] | Some f -> read_query_file f in
-    let named = from_file @ patterns in
     let texts_and_algs =
-      if named <> [] then
-        List.filter_map
-          (fun q ->
-            match Lpp_pattern.Parse.parse ds.graph q with
-            | Ok { pattern; _ } -> Some (q, Ok (Lpp_pattern.Planner.plan pattern))
-            | Error msg -> Some (q, Error msg))
-          named
-      else
-        List.map
-          (fun (q : Lpp_workload.Query_gen.query) ->
-            ( Format.asprintf "%a"
-                (Lpp_pattern.Pattern.pp ~names:(Some ds.graph))
-                q.pattern,
-              Ok (Lpp_pattern.Planner.plan q.pattern) ))
-          (gen_workload ds ~seed ~n ~props)
+      Cli_common.load_patterns ds ~file ~patterns ~fallback:(fun () ->
+          gen_workload ds ~seed ~n ~props)
+      |> List.map (fun (text, r) ->
+             (text, Result.map (fun p -> Lpp_pattern.Planner.plan p) r))
     in
     let reports =
       List.map
@@ -380,29 +389,9 @@ let cmd_lint =
         reports;
       Printf.printf "%d sequence(s), %d error(s)\n" (List.length reports) errors
     end;
-    if errors > 0 then Stdlib.exit 1
-  in
-  let smoke =
-    Arg.(value & flag
-         & info [ "smoke" ]
-             ~doc:"Use reduced data set sizes (sub-second; for CI)")
+    Cli_common.exit_if_errors errors
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON") in
-  let config =
-    Arg.(value & opt string "A-LHD"
-         & info [ "config"; "c" ] ~docv:"CFG"
-             ~doc:"Estimator configuration for the soundness pass \
-                   (S-L, A-L, A-LH, A-LD, A-LHD, A-LHD-10, A-LHDT)")
-  in
-  let file =
-    Arg.(value & opt (some string) None
-         & info [ "file"; "f" ] ~docv:"FILE"
-             ~doc:"Read patterns from FILE (one per line, # comments)")
-  in
-  let patterns =
-    Arg.(value & pos_all string [] & info [] ~docv:"PATTERN"
-         ~doc:"openCypher-style patterns; none = lint a generated workload")
-  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically analyse operator sequences and the statistics catalog"
@@ -413,7 +402,88 @@ let cmd_lint =
                patterns — or over a generated workload — and exits non-zero \
                if any error-severity diagnostic is found." ])
     Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg
-          $ props_arg $ smoke $ json $ config $ file $ patterns)
+          $ props_arg $ smoke_arg $ json $ config_arg $ file_arg $ patterns_arg)
+
+(* ---- trace ---------------------------------------------------------- *)
+
+let cmd_trace =
+  let run jobs name seed n props smoke config_name file out metrics count
+      patterns =
+    set_jobs jobs;
+    let config = config_of_name config_name in
+    (* Enable before the data set is built so catalog build phases, freezing
+       and the pool's per-task spans all land in the trace. *)
+    Lpp_obs.Obs.enable ();
+    let parse_errors = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> Lpp_obs.Obs.disable ())
+      (fun () ->
+        let ds = dataset_of_name name ~seed ~smoke in
+        Lpp_stats.Catalog.freeze ds.catalog;
+        let loaded =
+          Cli_common.load_patterns ds ~file ~patterns ~fallback:(fun () ->
+              gen_workload ds ~seed ~n ~props)
+        in
+        let session = Lpp_core.Estimator.make config ds.catalog in
+        List.iter
+          (fun (text, r) ->
+            match r with
+            | Error msg ->
+                incr parse_errors;
+                Printf.eprintf "parse error in %S: %s\n" text msg
+            | Ok pattern ->
+                let alg = Lpp_pattern.Planner.plan pattern in
+                let est = Lpp_core.Estimator.session_estimate session alg in
+                if count then begin
+                  let exact =
+                    match Lpp_exec.Matcher.count ds.graph pattern with
+                    | Lpp_exec.Matcher.Count c -> string_of_int c
+                    | Budget_exceeded -> "(budget exceeded)"
+                  in
+                  Printf.printf "%s\n  estimate %.2f, exact %s\n" text est exact
+                end
+                else Printf.printf "%s\n  estimate %.2f\n" text est)
+          loaded;
+        Option.iter
+          (fun path ->
+            Lpp_obs.Export.write_chrome_trace path;
+            Printf.printf "wrote Chrome trace to %s\n" path)
+          out;
+        Option.iter
+          (fun path ->
+            Lpp_obs.Export.write_metrics path;
+            Printf.printf "wrote metrics to %s\n" path)
+          metrics;
+        print_newline ();
+        Lpp_obs.Export.print_summary ());
+    Cli_common.exit_if_errors !parse_errors
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Write the Chrome trace_event JSON file (load with \
+                   about:tracing or Perfetto)")
+  in
+  let count =
+    Arg.(value & flag
+         & info [ "count" ]
+             ~doc:"Also run the exact matcher per pattern, so its partition \
+                   spans appear in the trace")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Estimate patterns with tracing on and export spans and metrics"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Builds the data set, freezes the catalog and estimates the \
+               given patterns (or a generated workload) with the span tracer \
+               and metrics registry enabled, then writes the Chrome trace \
+               ($(b,--out)) and metrics JSON ($(b,--metrics)) and prints an \
+               aggregate text report. Exits non-zero if any pattern fails to \
+               parse, mirroring $(b,lpp lint)." ])
+    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg
+          $ props_arg $ smoke_arg $ config_arg $ file_arg $ out
+          $ metrics_out_arg $ count $ patterns_arg)
 
 let () =
   let info =
@@ -424,4 +494,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ cmd_datasets; cmd_workload; cmd_estimate; cmd_plan; cmd_query;
-            cmd_export; cmd_lint ]))
+            cmd_export; cmd_lint; cmd_trace ]))

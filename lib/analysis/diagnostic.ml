@@ -40,22 +40,8 @@ let pp ppf d =
     (severity_string d.severity)
     d.code pp_loc d.loc d.message
 
-(* RFC 8259 string escaping; the repo deliberately has no JSON dependency. *)
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* One escaping implementation for the whole repo: Lpp_util.Json. *)
+let json_escape = Lpp_util.Json.escape
 
 let to_json d =
   let loc_field =

@@ -93,6 +93,49 @@ let begin_estimate st (alg : Algebra.t) =
 
 let fi = float_of_int
 
+(* Observability: per-operator spans and counters (PR 4). Metrics are
+   registered once at module initialisation; each write site costs one load
+   and one branch while the global [Lpp_obs] switch is off, and
+   [session_estimate] branches once per estimate into the traced or the
+   original loop, so disabled estimates run the exact pre-instrumentation
+   float sequence. *)
+let m_estimates = Lpp_obs.Metrics.counter "estimator.estimates"
+
+let m_deg_hit = Lpp_obs.Metrics.counter "estimator.degcache.hit"
+
+let m_deg_fill = Lpp_obs.Metrics.counter "estimator.degcache.fill"
+
+let h_card_out = Lpp_obs.Metrics.histogram "estimator.card_out"
+
+let h_live_vars = Lpp_obs.Metrics.histogram "estimator.label_map.live_vars"
+
+let c_get_nodes = Lpp_obs.Metrics.counter "estimator.op.get_nodes"
+
+let c_label_sel = Lpp_obs.Metrics.counter "estimator.op.label_selection"
+
+let c_prop_sel = Lpp_obs.Metrics.counter "estimator.op.prop_selection"
+
+let c_expand = Lpp_obs.Metrics.counter "estimator.op.expand"
+
+let c_merge_on = Lpp_obs.Metrics.counter "estimator.op.merge_on"
+
+(* Static names: span recording must not allocate per operator. *)
+let op_name (op : Algebra.op) =
+  match op with
+  | Get_nodes _ -> "GetNodes"
+  | Label_selection _ -> "LabelSelection"
+  | Prop_selection _ -> "PropertySelection"
+  | Expand _ -> "Expand"
+  | Merge_on _ -> "MergeOn"
+
+let op_counter (op : Algebra.op) =
+  match op with
+  | Get_nodes _ -> c_get_nodes
+  | Label_selection _ -> c_label_sel
+  | Prop_selection _ -> c_prop_sel
+  | Expand _ -> c_expand
+  | Merge_on _ -> c_merge_on
+
 let safe_div num den = if den <= 0.0 then 0.0 else num /. den
 
 let clamp01 p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p
@@ -364,8 +407,13 @@ let deg_vector st ~dir ~types =
 let cached_deg st degs ~dir ~types node =
   let idx = match node with None -> 0 | Some l -> l + 1 in
   let v = degs.(idx) in
-  if v = v then v (* filled: degrees are never NaN *)
+  if v = v then begin
+    (* filled: degrees are never NaN *)
+    if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_deg_hit;
+    v
+  end
   else begin
+    if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_deg_fill;
     let d = degree st ~dir ~types ~node ~other:None in
     degs.(idx) <- d;
     d
@@ -585,9 +633,48 @@ let assert_sound st i op =
       done)
     (Label_probs.live_vars st.probs)
 
+(* Traced variant of the estimate loop: an enclosing "estimate" span with one
+   nested span per operator, carrying input/output cardinality and the live
+   variable count of the label probability matrix. Reached only when the
+   global switch is on; the plain loops below are byte-for-byte the
+   pre-instrumentation code, so disabled estimates are bit-identical. *)
+let apply_ops_traced st (alg : Algebra.t) =
+  Lpp_obs.Trace.begin_span ~cat:"estimator" "estimate";
+  (try
+     Array.iteri
+       (fun i op ->
+         let card_in = st.card in
+         Lpp_obs.Metrics.incr (op_counter op);
+         Lpp_obs.Trace.begin_span ~cat:"estimator" (op_name op);
+         (try
+            apply_op st op;
+            if st.checks then assert_sound st i op
+          with e ->
+            Lpp_obs.Trace.end_span ();
+            raise e);
+         let live = fi (List.length (Label_probs.live_vars st.probs)) in
+         Lpp_obs.Metrics.observe h_live_vars live;
+         Lpp_obs.Trace.end_span
+           ~args:
+             [|
+               ("card_in", card_in);
+               ("card_out", st.card);
+               ("live_vars", live);
+             |]
+           ())
+       alg.ops;
+     Lpp_obs.Metrics.incr m_estimates;
+     Lpp_obs.Metrics.observe h_card_out st.card;
+     Lpp_obs.Trace.end_span
+       ~args:[| ("ops", fi (Array.length alg.ops)); ("card", st.card) |] ()
+   with e ->
+     Lpp_obs.Trace.end_span ();
+     raise e)
+
 let session_estimate st (alg : Algebra.t) =
   begin_estimate st alg;
-  if st.checks then
+  if Lpp_obs.Obs.enabled () then apply_ops_traced st alg
+  else if st.checks then
     Array.iteri
       (fun i op ->
         apply_op st op;

@@ -4,6 +4,13 @@ open Lpp_stats
 type t = { name : string; graph : Graph.t; catalog : Catalog.t }
 
 let make ?hierarchy_pairs ~name graph =
+  Lpp_obs.Trace.with_span ~cat:"dataset" "dataset.build"
+    ~args:(fun () ->
+      [|
+        ("nodes", float_of_int (Graph.node_count graph));
+        ("rels", float_of_int (Graph.rel_count graph));
+      |])
+  @@ fun () ->
   let hierarchy =
     Option.map
       (fun pairs ->

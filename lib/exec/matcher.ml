@@ -212,6 +212,7 @@ let run ?semantics ?(budget = 50_000_000) g (p : Pattern.t) ~on_match =
    and here either some chunk alone exceeds the budget (hence T does), or
    every chunk completes and the exact T is compared against the budget. *)
 let count ?semantics ?(budget = 50_000_000) ?jobs g p =
+  Lpp_obs.Trace.with_span ~cat:"exec" "matcher.count" @@ fun () ->
   let jobs = Lpp_util.Pool.resolve_jobs jobs in
   if jobs <= 1 then begin
     let total = ref 0 in
@@ -223,6 +224,10 @@ let count ?semantics ?(budget = 50_000_000) ?jobs g p =
     let start, _ = traversal_order p in
     let extent = start_extent g p start in
     let chunk ~lo ~hi =
+      Lpp_obs.Trace.with_span ~cat:"exec" "matcher.partition"
+        ~args:(fun () ->
+          [| ("lo", float_of_int lo); ("hi", float_of_int hi) |])
+      @@ fun () ->
       let steps = ref 0 in
       let tick () =
         incr steps;

@@ -153,6 +153,9 @@ let count_sharded ~semantics ~max_intermediate ~jobs g (alg : Algebra.t) var =
   let n_ops = Array.length ops in
   let n = Graph.node_count g in
   let chunk ~lo ~hi =
+    Lpp_obs.Trace.with_span ~cat:"exec" "reference.partition"
+      ~args:(fun () -> [| ("lo", float_of_int lo); ("hi", float_of_int hi) |])
+    @@ fun () ->
     let sizes = Array.make n_ops 0 in
     sizes.(0) <- hi - lo;
     let exception Local_too_big in
@@ -186,6 +189,7 @@ let count_sharded ~semantics ~max_intermediate ~jobs g (alg : Algebra.t) var =
 
 let count ?(semantics = Semantics.Cypher) ?(max_intermediate = 200_000) ?jobs g
     (alg : Algebra.t) =
+  Lpp_obs.Trace.with_span ~cat:"exec" "reference.count" @@ fun () ->
   let jobs = Lpp_util.Pool.resolve_jobs jobs in
   let sharded_start =
     if jobs > 1 && Array.length alg.ops > 0 then

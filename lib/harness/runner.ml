@@ -5,16 +5,19 @@ type measurement = {
   runtime_ns : float;
 }
 
+(* The single-shot interval is kept as exact integer nanoseconds
+   (Clock.diff_ns); floats only enter for the averaged repeat below. *)
 let time_once f x =
   let t0 = Lpp_util.Clock.now_ns () in
   let y = f x in
-  (y, Lpp_util.Clock.elapsed_ns ~since:t0)
+  (y, Lpp_util.Clock.diff_ns ~since:t0 (Lpp_util.Clock.now_ns ()))
 
 (* Repeat until ≥ ~1ms total so fast estimators get stable per-call numbers. *)
 let timed_estimate f x =
   let y, ns = time_once f x in
-  if ns >= 1_000_000.0 then (y, ns)
+  if Int64.compare ns 1_000_000L >= 0 then (y, Int64.to_float ns)
   else begin
+    let ns = Int64.to_float ns in
     let reps = max 1 (int_of_float (1_000_000.0 /. Float.max ns 100.0)) in
     let t0 = Lpp_util.Clock.now_ns () in
     for _ = 1 to reps do
@@ -24,6 +27,9 @@ let timed_estimate f x =
   end
 
 let run ?(measure_time = true) ?jobs (t : Technique.t) queries =
+  (* Per-query spans are named by the technique so traces of a multi-technique
+     comparison stay readable; the name is the same string for every query, so
+     recording does not allocate per call. *)
   let eval (q : Lpp_workload.Query_gen.query) =
     if not (t.supports q.pattern) then None
     else begin
@@ -36,15 +42,25 @@ let run ?(measure_time = true) ?jobs (t : Technique.t) queries =
         if measure_time then timed_estimate estimator q.pattern
         else (estimator q.pattern, 0.0)
       in
-      Some
+      let m =
         {
           query = q;
           estimate;
           q_error = Qerror.q_error ~truth:(float_of_int q.true_card) ~estimate;
           runtime_ns;
         }
+      in
+      Some m
     end
   in
+  let eval q =
+    Lpp_obs.Trace.with_span ~cat:"runner" t.name
+      ~args:(fun () -> [| ("query", float_of_int q.Lpp_workload.Query_gen.id) |])
+      (fun () -> eval q)
+  in
+  Lpp_obs.Trace.with_span ~cat:"runner" "runner.run"
+    ~args:(fun () -> [| ("queries", float_of_int (List.length queries)) |])
+  @@ fun () ->
   Lpp_util.Pool.parallel_map_array ?jobs eval (Array.of_list queries)
   |> Array.to_list
   |> List.filter_map Fun.id

@@ -1,0 +1,187 @@
+(* Sinks: Chrome trace_event JSON, metrics JSON, and a compact aggregate
+   text report. All three read the merged quiescent state (Trace.spans /
+   Metrics.snapshot) and build Lpp_util.Json trees, so the emitted bytes go
+   through the repo's one escaping implementation. *)
+
+open Lpp_util
+
+let ns_to_us ns = Int64.to_float ns /. 1e3
+
+(* ---- Chrome trace_event --------------------------------------------- *)
+
+let span_event (s : Trace.span) =
+  let base =
+    [
+      ("name", Json.String s.name);
+      ("cat", Json.String (if s.cat = "" then "lpp" else s.cat));
+      ("ph", Json.String "X");
+      ("ts", Json.Float (ns_to_us s.ts));
+      ("dur", Json.Float (ns_to_us s.dur));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int s.dom);
+    ]
+  in
+  let args =
+    if Array.length s.args = 0 then []
+    else
+      [
+        ( "args",
+          Json.Obj
+            (Array.to_list
+               (Array.map (fun (k, v) -> (k, Json.Float v)) s.args)) );
+      ]
+  in
+  Json.Obj (base @ args)
+
+let thread_meta dom =
+  Json.Obj
+    [
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int dom);
+      ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "domain-%d" dom)) ]);
+    ]
+
+let chrome_trace () =
+  let spans = Trace.spans () in
+  let doms =
+    List.sort_uniq Int.compare (List.map (fun (s : Trace.span) -> s.dom) spans)
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (List.map thread_meta doms @ List.map span_event spans) );
+      ("displayTimeUnit", Json.String "ms");
+      ("droppedSpans", Json.Int (Trace.dropped ()));
+    ]
+
+(* ---- metrics JSON --------------------------------------------------- *)
+
+let hist_json (h : Metrics.hist_snapshot) =
+  let buckets = ref [] in
+  for i = Metrics.bucket_count - 1 downto 0 do
+    if h.buckets.(i) > 0 then
+      buckets :=
+        Json.Obj
+          [
+            ("lo", Json.Float (Metrics.bucket_lo i));
+            ("hi", Json.Float (Metrics.bucket_hi i));
+            ("count", Json.Int h.buckets.(i));
+          ]
+        :: !buckets
+  done;
+  Json.Obj
+    [
+      ("count", Json.Int h.count);
+      ("sum", Json.Float h.sum);
+      ("buckets", Json.List !buckets);
+    ]
+
+let metrics_json () =
+  let s = Metrics.snapshot () in
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.gauges));
+      ( "histograms",
+        Json.Obj (List.map (fun (n, h) -> (n, hist_json h)) s.histograms) );
+    ]
+
+let write path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Json.to_channel oc json;
+      output_char oc '\n')
+
+let write_chrome_trace path = write path (chrome_trace ())
+
+let write_metrics path = write path (metrics_json ())
+
+(* ---- text summary --------------------------------------------------- *)
+
+type agg = {
+  mutable calls : int;
+  mutable total : int64;
+  mutable min : int64;
+  mutable max : int64;
+}
+
+let summary () =
+  let buf = Buffer.create 4096 in
+  let spans = Trace.spans () in
+  let by_name : (string * string, agg) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Trace.span) ->
+      let key = (s.cat, s.name) in
+      match Hashtbl.find_opt by_name key with
+      | Some a ->
+          a.calls <- a.calls + 1;
+          a.total <- Int64.add a.total s.dur;
+          if Int64.compare s.dur a.min < 0 then a.min <- s.dur;
+          if Int64.compare s.dur a.max > 0 then a.max <- s.dur
+      | None ->
+          Hashtbl.add by_name key
+            { calls = 1; total = s.dur; min = s.dur; max = s.dur })
+    spans;
+  let ms ns = Printf.sprintf "%.3f" (Int64.to_float ns /. 1e6) in
+  let us ns = Printf.sprintf "%.1f" (Int64.to_float ns /. 1e3) in
+  if Hashtbl.length by_name > 0 then begin
+    let t =
+      Ascii_table.create
+        [ "cat"; "span"; "calls"; "total ms"; "mean µs"; "min µs"; "max µs" ]
+    in
+    Hashtbl.fold (fun k a acc -> (k, a) :: acc) by_name []
+    |> List.sort (fun ((_, _), a) ((_, _), b) -> Int64.compare b.total a.total)
+    |> List.iter (fun ((cat, name), a) ->
+           Ascii_table.add_row t
+             [
+               (if cat = "" then "lpp" else cat);
+               name;
+               string_of_int a.calls;
+               ms a.total;
+               us (Int64.div a.total (Int64.of_int a.calls));
+               us a.min;
+               us a.max;
+             ]);
+    Buffer.add_string buf
+      (Printf.sprintf "Spans (%d recorded%s)\n" (List.length spans)
+         (match Trace.dropped () with
+         | 0 -> ""
+         | d -> Printf.sprintf ", %d dropped" d));
+    Buffer.add_string buf (Ascii_table.render t)
+  end
+  else Buffer.add_string buf "Spans: none recorded\n";
+  let snap = Metrics.snapshot () in
+  let nonzero_counters = List.filter (fun (_, v) -> v <> 0) snap.counters in
+  if nonzero_counters <> [] then begin
+    let t = Ascii_table.create [ "counter"; "value" ] in
+    List.iter
+      (fun (n, v) -> Ascii_table.add_row t [ n; string_of_int v ])
+      nonzero_counters;
+    Buffer.add_string buf "\nCounters\n";
+    Buffer.add_string buf (Ascii_table.render t)
+  end;
+  let live_hists =
+    List.filter (fun (_, (h : Metrics.hist_snapshot)) -> h.count > 0) snap.histograms
+  in
+  if live_hists <> [] then begin
+    let t = Ascii_table.create [ "histogram"; "count"; "sum"; "mean" ] in
+    List.iter
+      (fun (n, (h : Metrics.hist_snapshot)) ->
+        Ascii_table.add_row t
+          [
+            n;
+            string_of_int h.count;
+            Printf.sprintf "%.1f" h.sum;
+            Printf.sprintf "%.2f" (h.sum /. float_of_int h.count);
+          ])
+      live_hists;
+    Buffer.add_string buf "\nHistograms\n";
+    Buffer.add_string buf (Ascii_table.render t)
+  end;
+  Buffer.contents buf
+
+let print_summary () = print_string (summary ())

@@ -1,0 +1,25 @@
+(** Sinks over the recorded spans and metrics.
+
+    All readers assume the traced workload is quiescent. The JSON trees are
+    built with [Lpp_util.Json], so every emitted string goes through the
+    repo's single escaping implementation. *)
+
+val chrome_trace : unit -> Lpp_util.Json.t
+(** The [trace_event] document Chrome's [about:tracing] / Perfetto loads:
+    one ["ph": "X"] (complete) event per span with microsecond [ts]/[dur],
+    [tid] = recording domain, plus thread-name metadata events and a
+    [droppedSpans] count. *)
+
+val write_chrome_trace : string -> unit
+
+val metrics_json : unit -> Lpp_util.Json.t
+(** [{"counters": {..}, "gauges": {..}, "histograms": {..}}]; histograms
+    list only their non-empty buckets as [{lo, hi, count}]. *)
+
+val write_metrics : string -> unit
+
+val summary : unit -> string
+(** Compact text report: spans aggregated by (cat, name) — calls, total,
+    mean/min/max — plus non-zero counters and non-empty histograms. *)
+
+val print_summary : unit -> unit

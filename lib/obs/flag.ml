@@ -1,0 +1,12 @@
+(* The global observability switch. A plain bool ref read without
+   synchronisation: it is flipped only from quiescent points (Obs.enable /
+   Obs.disable, before and after a traced workload), and the disabled fast
+   path must cost exactly one load and one predictable branch at every
+   instrumentation site. Internal to Lpp_obs — instrumented code reads it
+   through [Obs.enabled]. *)
+
+let flag = ref false
+
+let[@inline] enabled () = !flag
+
+let set b = flag := b

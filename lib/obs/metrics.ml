@@ -1,0 +1,213 @@
+(* Metrics registry: named counters, gauges and fixed-bucket log-scale
+   histograms.
+
+   Writes go to lock-free per-domain shards: each domain holds (via
+   Domain.DLS) an array of cells indexed by metric id, so an increment is
+   one DLS lookup plus plain int stores — no atomics, no contention. Shards
+   register themselves under a mutex on first use; reads ([value],
+   [snapshot]) merge all shards. Word-sized loads cannot tear in OCaml, so
+   reading concurrently with writers yields a momentary but valid view;
+   exact totals require the workload to be quiescent, which is when the CLI
+   sinks run.
+
+   Registration ([counter] / [gauge] / [histogram]) is idempotent by name
+   and mutex-guarded; call it at module initialisation, not on hot paths. *)
+
+type kind = Counter | Gauge | Histogram
+
+type metric = { id : int; name : string; kind : kind }
+
+type counter = metric
+
+type gauge = metric
+
+type histogram = metric
+
+(* Histogram shape: bucket 0 holds values <= 1 (and everything non-positive
+   or NaN); bucket i in 1..62 holds values in (2^(i-1), 2^i]; bucket 63 is
+   the overflow. Fixed for every histogram so shards merge by plain array
+   addition. *)
+let bucket_count = 64
+
+let bucket_of x =
+  if not (x > 1.0) then 0
+  else if x = Float.infinity then bucket_count - 1
+  else begin
+    (* x = m·2^e with m ∈ [0.5, 1): x ∈ (2^(e-1), 2^e] after nudging exact
+       powers of two down into their closed-upper bucket *)
+    let m, e = Float.frexp x in
+    let e = if m = 0.5 then e - 1 else e in
+    if e > bucket_count - 1 then bucket_count - 1 else e
+  end
+
+let bucket_lo i = if i = 0 then 0.0 else 2.0 ** float_of_int (i - 1)
+
+let bucket_hi i = 2.0 ** float_of_int i
+
+(* ---- registry ------------------------------------------------------- *)
+
+let mutex = Mutex.create ()
+
+let by_name : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let metrics : metric list ref = ref []
+
+let metric_count = ref 0
+
+let register kind name =
+  Mutex.lock mutex;
+  let m =
+    match Hashtbl.find_opt by_name name with
+    | Some m ->
+        if m.kind <> kind then begin
+          Mutex.unlock mutex;
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered with another kind"
+               name)
+        end;
+        m
+    | None ->
+        let m = { id = !metric_count; name; kind } in
+        incr metric_count;
+        Hashtbl.add by_name name m;
+        metrics := m :: !metrics;
+        m
+  in
+  Mutex.unlock mutex;
+  m
+
+let counter name : counter = register Counter name
+
+let gauge name : gauge = register Gauge name
+
+let histogram name : histogram = register Histogram name
+
+(* ---- per-domain shards ---------------------------------------------- *)
+
+type cell = {
+  mutable v : int;  (* counter total / gauge value / histogram count *)
+  mutable sum : float;  (* histograms only *)
+  mutable hist : int array;  (* [||] unless the metric is a histogram *)
+}
+
+type shard = { mutable cells : cell option array }
+
+let shards : shard list ref = ref []
+
+let make_shard () =
+  let sh = { cells = Array.make 64 None } in
+  Mutex.lock mutex;
+  shards := sh :: !shards;
+  Mutex.unlock mutex;
+  sh
+
+let shard_key = Domain.DLS.new_key make_shard
+
+let cell (m : metric) =
+  let sh = Domain.DLS.get shard_key in
+  if m.id >= Array.length sh.cells then begin
+    let fresh = Array.make (max (m.id + 1) (2 * Array.length sh.cells)) None in
+    Array.blit sh.cells 0 fresh 0 (Array.length sh.cells);
+    sh.cells <- fresh
+  end;
+  match sh.cells.(m.id) with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          v = 0;
+          sum = 0.0;
+          hist =
+            (match m.kind with
+            | Histogram -> Array.make bucket_count 0
+            | Counter | Gauge -> [||]);
+        }
+      in
+      sh.cells.(m.id) <- Some c;
+      c
+
+(* Writers check the global switch themselves so cold call sites stay a bare
+   [Metrics.incr c]; hot paths additionally hide the whole instrumented
+   block behind [Obs.enabled]. *)
+
+let incr c = if Flag.enabled () then (let cl = cell c in cl.v <- cl.v + 1)
+
+let add c n = if Flag.enabled () then (let cl = cell c in cl.v <- cl.v + n)
+
+let set g x = if Flag.enabled () then (cell g).v <- x
+
+let observe h x =
+  if Flag.enabled () then begin
+    let cl = cell h in
+    cl.v <- cl.v + 1;
+    cl.sum <- cl.sum +. x;
+    cl.hist.(bucket_of x) <- cl.hist.(bucket_of x) + 1
+  end
+
+(* ---- merged reads --------------------------------------------------- *)
+
+let fold_cells (m : metric) ~init ~f =
+  Mutex.lock mutex;
+  let acc =
+    List.fold_left
+      (fun acc sh ->
+        if m.id < Array.length sh.cells then
+          match sh.cells.(m.id) with Some c -> f acc c | None -> acc
+        else acc)
+      init !shards
+  in
+  Mutex.unlock mutex;
+  acc
+
+let value (m : metric) =
+  match m.kind with
+  | Counter | Histogram -> fold_cells m ~init:0 ~f:(fun acc c -> acc + c.v)
+  | Gauge -> fold_cells m ~init:0 ~f:(fun acc c -> max acc c.v)
+
+let gauge_value = value
+
+type hist_snapshot = { count : int; sum : float; buckets : int array }
+
+let hist_value (m : metric) =
+  fold_cells m
+    ~init:{ count = 0; sum = 0.0; buckets = Array.make bucket_count 0 }
+    ~f:(fun acc c ->
+      Array.iteri (fun i n -> acc.buckets.(i) <- acc.buckets.(i) + n) c.hist;
+      { acc with count = acc.count + c.v; sum = acc.sum +. c.sum })
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let snapshot () =
+  Mutex.lock mutex;
+  let all = List.rev !metrics in
+  Mutex.unlock mutex;
+  let by_kind k = List.filter (fun m -> m.kind = k) all in
+  let named f ms =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (List.map (fun m -> (m.name, f m)) ms)
+  in
+  {
+    counters = named value (by_kind Counter);
+    gauges = named value (by_kind Gauge);
+    histograms = named hist_value (by_kind Histogram);
+  }
+
+let reset () =
+  Mutex.lock mutex;
+  List.iter
+    (fun sh ->
+      Array.iter
+        (function
+          | None -> ()
+          | Some c ->
+              c.v <- 0;
+              c.sum <- 0.0;
+              Array.fill c.hist 0 (Array.length c.hist) 0)
+        sh.cells)
+    !shards;
+  Mutex.unlock mutex

@@ -1,0 +1,67 @@
+(** Metrics registry: named counters, gauges and fixed-bucket log-scale
+    histograms.
+
+    Writes are lock-free and domain-local (per-domain shards reached through
+    [Domain.DLS], merged on read) and no-ops while the global switch
+    ({!Obs.enabled}) is off. Register metrics at module initialisation —
+    registration takes a lock; the write path does not.
+
+    Merged reads are exact once the workload is quiescent; concurrent reads
+    see a momentary but valid view (word-sized loads cannot tear). *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val counter : string -> counter
+(** Find-or-create by name; idempotent.
+    @raise Invalid_argument if the name is registered with another kind. *)
+
+val gauge : string -> gauge
+
+val histogram : string -> histogram
+(** Log-scale histogram with 64 fixed buckets: bucket 0 holds values ≤ 1,
+    bucket [i] holds values in (2{^i-1}, 2{^i}], bucket 63 overflows. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val set : gauge -> int -> unit
+(** Per-domain last-write-wins; the merged {!value} is the max over
+    domains. *)
+
+val observe : histogram -> float -> unit
+
+val value : counter -> int
+(** Sum over all domains. *)
+
+val gauge_value : gauge -> int
+(** Max over all domains. *)
+
+type hist_snapshot = { count : int; sum : float; buckets : int array }
+
+val hist_value : histogram -> hist_snapshot
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+val snapshot : unit -> snapshot
+(** Every registered metric with merged values, each section sorted by
+    name — the deterministic input to the JSON/text sinks. *)
+
+val reset : unit -> unit
+(** Zero every shard of every metric. *)
+
+val bucket_count : int
+
+val bucket_of : float -> int
+
+val bucket_lo : int -> float
+
+val bucket_hi : int -> float

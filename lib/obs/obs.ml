@@ -1,0 +1,39 @@
+(* Facade: the global switch plus the wiring that cannot live in the
+   instrumented libraries themselves (the Pool task monitor — Lpp_util must
+   not depend on Lpp_obs, so the hook is injected from here). *)
+
+let enabled = Flag.enabled
+
+(* The switch itself, for per-lookup hot paths: without flambda a call to
+   [enabled] never inlines away, but [if !Obs.live then ...] compiles to two
+   loads and a predictable branch (~0.5 ns), which is what keeps the
+   disabled-mode overhead bound under 2% (see bench/obs_overhead.ml).
+   Read-only outside this library: flip it via {!enable} / {!disable}. *)
+let live = Flag.flag
+
+(* Pool instrumentation: per-task spans tagged by who executed them, steal
+   and worker-task counters, and the queue depth observed at each dequeue. *)
+let pool_tasks = Metrics.counter "pool.task.worker"
+
+let pool_steals = Metrics.counter "pool.task.steal"
+
+let pool_queue_depth = Metrics.histogram "pool.queue_depth"
+
+let pool_monitor ~helped ~queue_depth task =
+  Metrics.incr (if helped then pool_steals else pool_tasks);
+  Metrics.observe pool_queue_depth (float_of_int queue_depth);
+  Trace.with_span ~cat:"pool"
+    (if helped then "pool.task.steal" else "pool.task")
+    task
+
+let enable () =
+  Lpp_util.Pool.set_monitor (Some pool_monitor);
+  Flag.set true
+
+let disable () =
+  Flag.set false;
+  Lpp_util.Pool.set_monitor None
+
+let reset () =
+  Trace.clear ();
+  Metrics.reset ()

@@ -51,6 +51,27 @@ let star = -1
 
 let wild = function None -> star | Some l -> l
 
+(* Observability: lookup-path counters and build-phase spans. Registered once
+   at module initialisation; every write is gated on the global [Lpp_obs]
+   switch, so the disabled read path costs one load and one branch. *)
+let m_lookup_dense = Lpp_obs.Metrics.counter "catalog.lookup.dense"
+
+let m_lookup_packed = Lpp_obs.Metrics.counter "catalog.lookup.packed"
+
+let m_lookup_miss = Lpp_obs.Metrics.counter "catalog.lookup.miss"
+
+let m_lookup_hashtable = Lpp_obs.Metrics.counter "catalog.lookup.hashtable"
+
+let m_rc_row_dense = Lpp_obs.Metrics.counter "catalog.rc_row.dense"
+
+let m_rc_row_generic = Lpp_obs.Metrics.counter "catalog.rc_row.generic"
+
+let m_freeze_dense = Lpp_obs.Metrics.counter "catalog.freeze.dense"
+
+let m_freeze_packed = Lpp_obs.Metrics.counter "catalog.freeze.packed"
+
+let m_thaw = Lpp_obs.Metrics.counter "catalog.thaw"
+
 let bump tbl key =
   Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
@@ -98,11 +119,26 @@ let count_rels g ~lo ~hi =
   (rel_type_totals, triples, any_type)
 
 let build_with ?hierarchy ?partition ?jobs g =
+  Lpp_obs.Trace.with_span ~cat:"catalog" "catalog.build"
+    ~args:(fun () ->
+      [|
+        ("nodes", float_of_int (Graph.node_count g));
+        ("rels", float_of_int (Graph.rel_count g));
+      |])
+  @@ fun () ->
   let hierarchy =
-    match hierarchy with Some h -> h | None -> Label_hierarchy.infer g
+    match hierarchy with
+    | Some h -> h
+    | None ->
+        Lpp_obs.Trace.with_span ~cat:"catalog" "catalog.infer_hierarchy"
+          (fun () -> Label_hierarchy.infer g)
   in
   let partition =
-    match partition with Some p -> p | None -> Label_partition.infer g
+    match partition with
+    | Some p -> p
+    | None ->
+        Lpp_obs.Trace.with_span ~cat:"catalog" "catalog.infer_partition"
+          (fun () -> Label_partition.infer g)
   in
   let nc =
     Array.init (Graph.label_count g) (fun l ->
@@ -111,9 +147,13 @@ let build_with ?hierarchy ?partition ?jobs g =
   let jobs = Lpp_util.Pool.resolve_jobs jobs in
   let shards =
     Lpp_util.Pool.parallel_chunks ~jobs ~n:(Graph.rel_count g) (fun ~lo ~hi ->
-        count_rels g ~lo ~hi)
+        Lpp_obs.Trace.with_span ~cat:"catalog" "catalog.count_shard"
+          ~args:(fun () ->
+            [| ("lo", float_of_int lo); ("hi", float_of_int hi) |])
+          (fun () -> count_rels g ~lo ~hi))
   in
   let rel_type_totals, triples, any_type =
+    Lpp_obs.Trace.with_span ~cat:"catalog" "catalog.merge" @@ fun () ->
     match shards with
     | [ shard ] -> shard
     | shards ->
@@ -147,7 +187,9 @@ let build_with ?hierarchy ?partition ?jobs g =
     frozen = None;
     hierarchy;
     partition;
-    props = Prop_stats.build g;
+    props =
+      Lpp_obs.Trace.with_span ~cat:"catalog" "catalog.prop_stats" (fun () ->
+          Prop_stats.build g);
     tri_graph = g;
     tri_mutex = Mutex.create ();
     tri = None;
@@ -194,6 +236,7 @@ let pack ~l1 ~typ ~l2 ~labels1 = (((typ + 1) * labels1) + l1 + 1) * labels1 + (l
 
 let freeze t =
   if t.frozen = None then begin
+    Lpp_obs.Trace.with_span ~cat:"catalog" "catalog.freeze" @@ fun () ->
     (* key space: every label/type the counters may be queried with, i.e.
        ids seen at build time plus any id the incremental path grew into *)
     let labels = ref (Array.length t.nc) in
@@ -211,6 +254,7 @@ let freeze t =
     let slots = (types + 1) * labels1 * labels1 in
     let layout =
       if slots <= dense_slot_limit then begin
+        Lpp_obs.Metrics.incr m_freeze_dense;
         let dense = Array.make slots 0 in
         Hashtbl.iter
           (fun (l1, l2) c -> dense.(pack ~l1 ~typ:star ~l2 ~labels1) <- c)
@@ -221,6 +265,7 @@ let freeze t =
         Dense dense
       end
       else begin
+        Lpp_obs.Metrics.incr m_freeze_packed;
         let n = Hashtbl.length t.any_type + Hashtbl.length t.triples in
         let entries = Array.make n (0, 0) in
         let i = ref 0 in
@@ -254,7 +299,9 @@ let freeze t =
         }
   end
 
-let thaw t = t.frozen <- None
+let thaw t =
+  Lpp_obs.Metrics.incr m_thaw;
+  t.frozen <- None
 
 let is_frozen t = t.frozen <> None
 
@@ -263,13 +310,19 @@ let fz_get f ~l1 ~typ ~l2 =
   if
     l1o < 0 || l1o > f.fz_labels || l2o < 0 || l2o > f.fz_labels || tyo < 0
     || tyo > f.fz_types
-  then 0
+  then begin
+    if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_lookup_miss;
+    0
+  end
   else begin
     let labels1 = f.fz_labels + 1 in
     let key = (((tyo * labels1) + l1o) * labels1) + l2o in
     match f.fz_layout with
-    | Dense dense -> dense.(key)
+    | Dense dense ->
+        if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_lookup_dense;
+        dense.(key)
     | Packed { keys; counts } ->
+        if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_lookup_packed;
         let lo = ref 0 and hi = ref (Array.length keys) in
         while !hi - !lo > 0 do
           let mid = (!lo + !hi) / 2 in
@@ -279,6 +332,7 @@ let fz_get f ~l1 ~typ ~l2 =
   end
 
 let rc_directed_unfrozen t ~src ~types ~dst =
+  if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_lookup_hashtable;
   if Array.length types = 0 then get t.any_type (src, dst)
   else
     Array.fold_left (fun acc ty -> acc + get t.triples (src, ty, dst)) 0 types
@@ -341,12 +395,14 @@ let unsafe_set_nc t l count =
 let rc_row t ~dir ~node ~types ~row =
   let len = Array.length row in
   let generic () =
+    if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_rc_row_generic;
     for l' = 0 to len - 1 do
       row.(l') <- rc t ~dir ~node ~types ~other:(Some l')
     done
   in
   match t.frozen with
   | Some ({ fz_layout = Dense dense; _ } as f) ->
+      if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_rc_row_dense;
       Array.fill row 0 len 0;
       let labels1 = f.fz_labels + 1 in
       let no = wild node + 1 in
@@ -396,7 +452,10 @@ let triangles t =
       match t.tri with
       | Some stats -> stats
       | None ->
-          let stats = Triangle_stats.build t.tri_graph in
+          let stats =
+            Lpp_obs.Trace.with_span ~cat:"catalog" "catalog.triangles"
+              (fun () -> Triangle_stats.build t.tri_graph)
+          in
           t.tri <- Some stats;
           stats)
 

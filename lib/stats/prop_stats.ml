@@ -81,6 +81,12 @@ let build g =
     accs;
   { entries }
 
+(* Observability: how often an equality predicate is answered by a most-
+   common-value entry versus the uniform tail assumption. *)
+let m_mcv_hit = Lpp_obs.Metrics.counter "propstats.mcv_hit"
+
+let m_mcv_tail = Lpp_obs.Metrics.counter "propstats.mcv_tail"
+
 let selectivity t owner ~key pred =
   match find t owner ~key with
   | None -> 0.0
@@ -92,8 +98,11 @@ let selectivity t owner ~key pred =
         | Exists -> exists_sel
         | Eq v -> begin
             match Array.find_opt (fun (mv, _) -> Value.equal mv v) e.mcvs with
-            | Some (_, c) -> float_of_int c /. float_of_int e.owner_total
+            | Some (_, c) ->
+                if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_mcv_hit;
+                float_of_int c /. float_of_int e.owner_total
             | None ->
+                if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_mcv_tail;
                 let mcv_mass =
                   Array.fold_left (fun acc (_, c) -> acc + c) 0 e.mcvs
                 in

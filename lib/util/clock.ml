@@ -5,6 +5,8 @@
 
 let now_ns () = Monotonic_clock.now ()
 
-let elapsed_ns ~since = Int64.to_float (Int64.sub (now_ns ()) since)
+let diff_ns ~since until = Int64.sub until since
+
+let elapsed_ns ~since = Int64.to_float (diff_ns ~since (now_ns ()))
 
 let elapsed_s ~since = elapsed_ns ~since /. 1e9

@@ -8,6 +8,12 @@ val now_ns : unit -> int64
 (** Nanoseconds from an arbitrary fixed origin; only differences are
     meaningful. Monotonically non-decreasing. *)
 
+val diff_ns : since:int64 -> int64 -> int64
+(** [diff_ns ~since until] is the exact integer nanosecond interval between
+    two {!now_ns} readings — the float-free API for code (span tracing,
+    threshold checks) that only ever diffs timestamps and must not lose
+    precision to rounding. *)
+
 val elapsed_ns : since:int64 -> float
 (** Nanoseconds elapsed since a {!now_ns} reading; always ≥ 0. *)
 

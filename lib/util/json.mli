@@ -1,0 +1,39 @@
+(** Minimal JSON tree, emitter and parser (RFC 8259).
+
+    The repo deliberately has no JSON dependency; the [lpp lint] output, the
+    observability sinks (Chrome trace / metrics files) and the benches share
+    this one implementation, so there is exactly one escaping routine.
+
+    The emitter is compact (no insignificant whitespace). Non-finite floats
+    have no JSON representation and are emitted as [null]. The parser accepts
+    any RFC 8259 document, including [\uXXXX] escapes and surrogate pairs
+    (decoded to UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** RFC 8259 string-content escaping, without the surrounding quotes. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on any other constructor. *)
+
+val number : t -> float option
+(** [Int] or [Float] as a float; [None] otherwise. *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete document; trailing non-whitespace is an error.
+    Numbers with a fraction or exponent parse as [Float], the rest as [Int]
+    (falling back to [Float] beyond the [int] range). *)

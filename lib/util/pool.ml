@@ -40,6 +40,25 @@ let resolve_jobs = function
   | Some j -> clamp_jobs j
   | None -> default_jobs ()
 
+(* ---- observability hook --------------------------------------------- *)
+
+(* Optional task monitor, installed by the observability layer when tracing
+   is on; the callback wraps every queue-drawn task and must run it exactly
+   once. [helped] marks tasks a blocked caller drained while waiting for its
+   own chunks (the pool's equivalent of work stealing); [queue_depth] is the
+   queue length right after the dequeue. The [None] default costs one load
+   and branch per task. *)
+let monitor :
+    (helped:bool -> queue_depth:int -> (unit -> unit) -> unit) option Atomic.t =
+  Atomic.make None
+
+let set_monitor m = Atomic.set monitor m
+
+let run_task ~helped ~queue_depth t =
+  match Atomic.get monitor with
+  | None -> t ()
+  | Some m -> m ~helped ~queue_depth t
+
 (* ---- the shared scheduler ------------------------------------------- *)
 
 let mutex = Mutex.create ()
@@ -48,7 +67,11 @@ let mutex = Mutex.create ()
    waiting callers share it and re-check their own predicate on wakeup. *)
 let cond = Condition.create ()
 
-let queue : (unit -> unit) Queue.t = Queue.create ()
+(* Queued tasks receive how they were drawn (helped / queue depth) so the
+   monitor can be applied around the computation *inside* the task, before
+   the task publishes its completion — a caller that has seen all its chunks
+   complete must also see every monitor fully unwound (spans recorded). *)
+let queue : (helped:bool -> queue_depth:int -> unit) Queue.t = Queue.create ()
 
 let stopping = ref false
 
@@ -60,16 +83,19 @@ let worker_count = ref 0
 let rec worker_loop () =
   Mutex.lock mutex;
   let task = ref None in
+  let depth = ref 0 in
   while !task = None && not !stopping do
     match Queue.take_opt queue with
-    | Some t -> task := Some t
+    | Some t ->
+        task := Some t;
+        depth := Queue.length queue
     | None -> Condition.wait cond mutex
   done;
   Mutex.unlock mutex;
   match !task with
   | None -> ()
   | Some t ->
-      t ();
+      t ~helped:false ~queue_depth:!depth;
       worker_loop ()
 
 let ensure_workers n =
@@ -113,12 +139,12 @@ let parallel_chunks ?jobs ~n f =
     let results = Array.make k None in
     let pending = ref k in
     let first_exn = ref None in
-    let run_chunk i () =
-      let outcome =
-        match f ~lo:(bound i) ~hi:(bound (i + 1)) with
-        | v -> Ok v
-        | exception e -> Error e
-      in
+    let compute i () =
+      match f ~lo:(bound i) ~hi:(bound (i + 1)) with
+      | v -> Ok v
+      | exception e -> Error e
+    in
+    let finish i outcome =
       Mutex.lock mutex;
       (match outcome with
       | Ok v -> results.(i) <- Some v
@@ -127,21 +153,32 @@ let parallel_chunks ?jobs ~n f =
       Condition.broadcast cond;
       Mutex.unlock mutex
     in
+    (* Monitor around the computation only: completion must be published
+       after the monitor has fully unwound, or a caller could merge spans
+       while a worker is still recording its last one. *)
+    let run_chunk i ~helped ~queue_depth =
+      let outcome = ref None in
+      run_task ~helped ~queue_depth (fun () -> outcome := Some (compute i ()));
+      match !outcome with
+      | Some o -> finish i o
+      | None -> assert false (* the monitor runs its task exactly once *)
+    in
     Mutex.lock mutex;
     for i = 1 to k - 1 do
       Queue.add (run_chunk i) queue
     done;
     Condition.broadcast cond;
     Mutex.unlock mutex;
-    (* The caller computes chunk 0 itself, then helps drain the queue until
-       its own chunks are done. *)
-    run_chunk 0 ();
+    (* The caller computes chunk 0 itself (inline, unmonitored), then helps
+       drain the queue until its own chunks are done. *)
+    finish 0 (compute 0 ());
     Mutex.lock mutex;
     while !pending > 0 do
       match Queue.take_opt queue with
       | Some t ->
+          let depth = Queue.length queue in
           Mutex.unlock mutex;
-          t ();
+          t ~helped:true ~queue_depth:depth;
           Mutex.lock mutex
       | None -> Condition.wait cond mutex
     done;

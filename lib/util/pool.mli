@@ -51,6 +51,16 @@ val parallel_reduce :
     [fold_left merge init] over the chunk results in ascending chunk order,
     i.e. identical to the sequential left fold for associative [merge]. *)
 
+val set_monitor :
+  (helped:bool -> queue_depth:int -> (unit -> unit) -> unit) option -> unit
+(** Install (or remove, with [None]) a task monitor. The callback wraps
+    every queue-drawn task and must run the thunk exactly once; [helped]
+    marks tasks drained by a blocked caller rather than a worker domain (the
+    pool's work stealing), [queue_depth] is the queue length right after the
+    dequeue. Used by the observability layer ([Lpp_obs.Obs.enable]) for
+    per-domain task spans and steal/queue-depth metrics; the [None] default
+    costs one load and branch per task. *)
+
 val shutdown : unit -> unit
 (** Stop and join all worker domains (the pool restarts lazily on the next
     parallel call). Registered with [at_exit]; rarely needed directly. *)

@@ -23,4 +23,5 @@ let () =
       ("properties", Test_properties.suite);
       ("analysis", Test_analysis.suite);
       ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
     ]

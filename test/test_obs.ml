@@ -1,0 +1,518 @@
+(* The observability layer (Lpp_obs): JSON emitter round-trips, span
+   nesting and per-domain recording, shard-merged metrics, the Chrome trace
+   sink, hand-computed frozen-catalog lookup-path counters, and the central
+   guarantee that enabling instrumentation never changes an estimate bit.
+
+   Every test that enables the global switch does so under Fun.protect and
+   resets the recorders afterwards, so the rest of the test binary keeps
+   running on the disabled (zero-overhead) path. *)
+
+open Lpp_pgraph
+open Lpp_stats
+open Lpp_util
+
+let with_obs f =
+  Lpp_obs.Obs.enable ();
+  Lpp_obs.Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Lpp_obs.Obs.disable ();
+      Lpp_obs.Obs.reset ())
+    f
+
+(* ---- Lpp_util.Json -------------------------------------------------- *)
+
+let test_json_escape () =
+  Alcotest.(check string) "quotes and backslashes" "a\\\"b\\\\c"
+    (Json.escape "a\"b\\c");
+  Alcotest.(check string) "control chars" "line\\nfeed\\ttab\\u0000"
+    (Json.escape "line\nfeed\ttab\000");
+  Alcotest.(check string) "plain passthrough" "plain" (Json.escape "plain")
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5e-3);
+        ("big", Json.Float 986.0);
+        ("string", Json.String "sp\"ec\\ial\n\tchars");
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+  | Ok doc' -> Alcotest.(check bool) "round-trip equal" true (doc = doc')
+
+let test_json_parse_unicode () =
+  (match Json.of_string {|"aé😀b"|} with
+  | Ok (Json.String s) ->
+      Alcotest.(check string) "BMP + surrogate pair" "a\xc3\xa9\xf0\x9f\x98\x80b" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error msg -> Alcotest.failf "unicode parse failed: %s" msg);
+  (match Json.of_string "[1, 2.5, -3e2, {\"k\": []}]" with
+  | Ok (Json.List [ Json.Int 1; Json.Float 2.5; Json.Float (-300.);
+                    Json.Obj [ ("k", Json.List []) ] ]) -> ()
+  | Ok other -> Alcotest.failf "unexpected parse: %s" (Json.to_string other)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  (match Json.of_string "{broken" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse")
+
+let test_json_float_tokens () =
+  Alcotest.(check string) "integral floats keep a digit after the dot"
+    "[1.0,0.5]" (Json.to_string (Json.List [ Json.Float 1.0; Json.Float 0.5 ]));
+  Alcotest.(check string) "non-finite floats become null" "[null,null,null]"
+    (Json.to_string
+       (Json.List [ Json.Float Float.nan; Json.Float Float.infinity;
+                    Json.Float Float.neg_infinity ]));
+  (* %.17g must round-trip doubles exactly *)
+  let x = 0.1 +. 0.2 in
+  match Json.of_string (Json.to_string (Json.Float x)) with
+  | Ok (Json.Float y) ->
+      Alcotest.(check int64) "17 significant digits round-trip"
+        (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> Alcotest.fail "float reparse failed"
+
+(* ---- Clock ----------------------------------------------------------- *)
+
+let test_clock_diff_ns () =
+  let t0 = Clock.now_ns () in
+  let t1 = Clock.now_ns () in
+  let d = Clock.diff_ns ~since:t0 t1 in
+  Alcotest.(check bool) "monotonic" true (Int64.compare d 0L >= 0);
+  Alcotest.(check int64) "diff is plain subtraction"
+    (Int64.sub t1 t0) d
+
+(* ---- span tracer ----------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_obs @@ fun () ->
+  Lpp_obs.Trace.with_span ~cat:"t" "outer" (fun () ->
+      Lpp_obs.Trace.with_span ~cat:"t" "inner" (fun () -> ());
+      Lpp_obs.Trace.begin_span ~cat:"t" "argful";
+      Lpp_obs.Trace.end_span ~args:[| ("x", 7.0) |] ());
+  let spans = Lpp_obs.Trace.spans () in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let find name = List.find (fun (s : Lpp_obs.Trace.span) -> s.name = name) spans in
+  let outer = find "outer" and inner = find "inner" and argful = find "argful" in
+  Alcotest.(check int) "outer at depth 0" 0 outer.depth;
+  Alcotest.(check int) "inner at depth 1" 1 inner.depth;
+  Alcotest.(check int) "argful at depth 1" 1 argful.depth;
+  Alcotest.(check bool) "args recorded" true (argful.args = [| ("x", 7.0) |]);
+  Alcotest.(check int) "same domain" outer.dom inner.dom;
+  (* containment: inner ⊆ outer on the int64 timeline *)
+  let ends (s : Lpp_obs.Trace.span) = Int64.add s.ts s.dur in
+  Alcotest.(check bool) "inner starts after outer" true
+    (Int64.compare outer.ts inner.ts <= 0);
+  Alcotest.(check bool) "inner ends before outer" true
+    (Int64.compare (ends inner) (ends outer) <= 0);
+  (* a span recorded even when the thunk raises *)
+  (try
+     Lpp_obs.Trace.with_span "raises" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "raising span recorded" 4
+    (List.length (Lpp_obs.Trace.spans ()));
+  Lpp_obs.Trace.clear ();
+  Alcotest.(check int) "clear empties" 0 (List.length (Lpp_obs.Trace.spans ()))
+
+let test_span_unbalanced_end () =
+  with_obs @@ fun () ->
+  (* an end with no open span must be ignored, not crash or underflow *)
+  Lpp_obs.Trace.end_span ();
+  Lpp_obs.Trace.with_span "ok" (fun () -> ());
+  Alcotest.(check int) "only the real span" 1
+    (List.length (Lpp_obs.Trace.spans ()))
+
+let test_spans_across_domains () =
+  with_obs @@ fun () ->
+  let chunks =
+    Pool.parallel_chunks ~jobs:4 ~n:400 (fun ~lo ~hi ->
+        Lpp_obs.Trace.with_span ~cat:"test" "chunk" (fun () -> hi - lo))
+  in
+  Alcotest.(check int) "all elements covered" 400
+    (List.fold_left ( + ) 0 chunks);
+  let spans = Lpp_obs.Trace.spans () in
+  let named n = List.filter (fun (s : Lpp_obs.Trace.span) -> s.name = n) spans in
+  Alcotest.(check int) "one span per chunk" (List.length chunks)
+    (List.length (named "chunk"));
+  (* the pool monitor wraps every task that went through the queue (all
+     chunks except chunk 0, which runs inline on the caller) *)
+  let pool_spans =
+    List.filter (fun (s : Lpp_obs.Trace.span) -> s.cat = "pool") spans
+  in
+  Alcotest.(check int) "queued tasks traced" (List.length chunks - 1)
+    (List.length pool_spans);
+  Alcotest.(check bool) "sorted by start time" true
+    (let rec ok = function
+       | (a : Lpp_obs.Trace.span) :: (b :: _ as rest) ->
+           Int64.compare a.ts b.ts <= 0 && ok rest
+       | _ -> true
+     in
+     ok spans)
+
+(* ---- metrics --------------------------------------------------------- *)
+
+let test_metrics_disabled_noop () =
+  Lpp_obs.Obs.reset ();
+  let c = Lpp_obs.Metrics.counter "test.disabled" in
+  Lpp_obs.Metrics.incr c;
+  Lpp_obs.Metrics.add c 10;
+  Alcotest.(check int) "writes ignored while disabled" 0
+    (Lpp_obs.Metrics.value c)
+
+let test_metrics_register_idempotent () =
+  let a = Lpp_obs.Metrics.counter "test.same" in
+  let b = Lpp_obs.Metrics.counter "test.same" in
+  with_obs @@ fun () ->
+  Lpp_obs.Metrics.incr a;
+  Lpp_obs.Metrics.incr b;
+  Alcotest.(check int) "same underlying metric" 2 (Lpp_obs.Metrics.value a);
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Metrics: \"test.same\" already registered with another kind")
+    (fun () -> ignore (Lpp_obs.Metrics.gauge "test.same"))
+
+let test_counter_parallel_merge () =
+  let c = Lpp_obs.Metrics.counter "test.parallel_counter" in
+  with_obs @@ fun () ->
+  let chunks =
+    Pool.parallel_chunks ~jobs:4 ~n:1000 (fun ~lo ~hi ->
+        for _ = lo to hi - 1 do
+          Lpp_obs.Metrics.incr c
+        done;
+        hi - lo)
+  in
+  Alcotest.(check int) "chunks cover range" 1000 (List.fold_left ( + ) 0 chunks);
+  Alcotest.(check int) "shards merge to the total" 1000 (Lpp_obs.Metrics.value c)
+
+let test_histogram_merge_matches_single_domain () =
+  let values = Array.init 500 (fun i -> float_of_int (i * 7 mod 1023)) in
+  let observe_all name jobs =
+    let h = Lpp_obs.Metrics.histogram name in
+    with_obs @@ fun () ->
+    ignore
+      (Pool.parallel_chunks ~jobs ~n:(Array.length values) (fun ~lo ~hi ->
+           for i = lo to hi - 1 do
+             Lpp_obs.Metrics.observe h values.(i)
+           done;
+           0));
+    Lpp_obs.Metrics.hist_value h
+  in
+  let seq = observe_all "test.hist_seq" 1 in
+  let par = observe_all "test.hist_par" 4 in
+  Alcotest.(check int) "counts equal" seq.count par.count;
+  Alcotest.(check (float 1e-9)) "sums equal" seq.sum par.sum;
+  Alcotest.(check (array int)) "buckets equal" seq.buckets par.buckets
+
+let test_histogram_buckets () =
+  Alcotest.(check int) "v<=1 in bucket 0" 0 (Lpp_obs.Metrics.bucket_of 1.0);
+  Alcotest.(check int) "non-positive in bucket 0" 0 (Lpp_obs.Metrics.bucket_of (-5.0));
+  Alcotest.(check int) "nan in bucket 0" 0 (Lpp_obs.Metrics.bucket_of Float.nan);
+  Alcotest.(check int) "(1,2] in bucket 1" 1 (Lpp_obs.Metrics.bucket_of 2.0);
+  Alcotest.(check int) "(2,4] in bucket 2" 2 (Lpp_obs.Metrics.bucket_of 2.5);
+  Alcotest.(check int) "exact powers land in the closed-upper bucket" 10
+    (Lpp_obs.Metrics.bucket_of 1024.0);
+  Alcotest.(check int) "just above a power moves up" 11
+    (Lpp_obs.Metrics.bucket_of 1024.5);
+  Alcotest.(check int) "infinity overflows" (Lpp_obs.Metrics.bucket_count - 1)
+    (Lpp_obs.Metrics.bucket_of Float.infinity);
+  (* lo/hi describe the (lo, hi] ranges the buckets actually receive *)
+  for i = 1 to 20 do
+    let lo = Lpp_obs.Metrics.bucket_lo i and hi = Lpp_obs.Metrics.bucket_hi i in
+    Alcotest.(check int) "hi lands in its own bucket" i
+      (Lpp_obs.Metrics.bucket_of hi);
+    Alcotest.(check int) "lo lands in the bucket below" (i - 1)
+      (Lpp_obs.Metrics.bucket_of lo)
+  done
+
+let test_gauge_max_merge () =
+  let g = Lpp_obs.Metrics.gauge "test.gauge" in
+  with_obs @@ fun () ->
+  ignore
+    (Pool.parallel_chunks ~jobs:4 ~n:64 (fun ~lo ~hi ->
+         Lpp_obs.Metrics.set g hi;
+         hi - lo));
+  Alcotest.(check int) "merged gauge is the max across shards" 64
+    (Lpp_obs.Metrics.gauge_value g)
+
+(* ---- frozen-catalog lookup-path counters (hand-computed) ------------- *)
+
+let tiny_catalog () =
+  let b = Lpp_pgraph.Graph_builder.create () in
+  let a = Lpp_pgraph.Graph_builder.add_node b ~labels:[ "A" ] ~props:[] in
+  let c = Lpp_pgraph.Graph_builder.add_node b ~labels:[ "B" ] ~props:[] in
+  ignore (Lpp_pgraph.Graph_builder.add_rel b ~src:a ~dst:c ~rel_type:"u" ~props:[]);
+  Catalog.build (Lpp_pgraph.Graph_builder.freeze b)
+
+let counter name =
+  (* reuse the instrumented modules' registrations by name *)
+  Lpp_obs.Metrics.value (Lpp_obs.Metrics.counter name)
+
+let test_lookup_path_counters () =
+  let catalog = tiny_catalog () in
+  with_obs @@ fun () ->
+  Catalog.freeze catalog;
+  Alcotest.(check int) "small key space freezes dense" 1
+    (counter "catalog.freeze.dense");
+  let rc ~dir ~node ~types =
+    ignore (Catalog.rc catalog ~dir ~node ~types ~other:None)
+  in
+  (* Out + any-type: exactly one dense probe *)
+  rc ~dir:Direction.Out ~node:(Some 0) ~types:[||];
+  Alcotest.(check int) "one dense probe" 1 (counter "catalog.lookup.dense");
+  (* Both sums two directed lookups: two more probes *)
+  rc ~dir:Direction.Both ~node:(Some 0) ~types:[||];
+  Alcotest.(check int) "both = two probes" 3 (counter "catalog.lookup.dense");
+  (* one valid type probes the dense array; an out-of-range type is a miss *)
+  rc ~dir:Direction.Out ~node:(Some 0) ~types:[| 0; 5 |];
+  Alcotest.(check int) "valid type probes dense" 4 (counter "catalog.lookup.dense");
+  Alcotest.(check int) "out-of-range type misses" 1 (counter "catalog.lookup.miss");
+  (* an unknown label is a bounds miss before the layout is consulted *)
+  rc ~dir:Direction.Out ~node:(Some 99) ~types:[||];
+  Alcotest.(check int) "unknown label misses" 2 (counter "catalog.lookup.miss");
+  (* negative types are skipped without any probe *)
+  rc ~dir:Direction.Out ~node:(Some 0) ~types:[| -3 |];
+  Alcotest.(check int) "negative type: no probe" 4 (counter "catalog.lookup.dense");
+  (* the whole-row sweep takes the dense fast path *)
+  let row = Array.make (Catalog.label_count catalog) 0 in
+  Catalog.rc_row catalog ~dir:Direction.Out ~node:(Some 0) ~types:[||] ~row;
+  Alcotest.(check int) "rc_row dense fast path" 1 (counter "catalog.rc_row.dense");
+  Alcotest.(check int) "fast path does not probe per label" 4
+    (counter "catalog.lookup.dense");
+  (* thawing reroutes everything to the hashtables *)
+  Catalog.thaw catalog;
+  Alcotest.(check int) "thaw counted" 1 (counter "catalog.thaw");
+  rc ~dir:Direction.Out ~node:(Some 0) ~types:[||];
+  Alcotest.(check int) "unfrozen lookup" 1 (counter "catalog.lookup.hashtable");
+  Catalog.rc_row catalog ~dir:Direction.Out ~node:(Some 0) ~types:[||] ~row;
+  Alcotest.(check int) "rc_row generic path" 1 (counter "catalog.rc_row.generic");
+  Alcotest.(check int) "generic sweep = one probe per label" 3
+    (counter "catalog.lookup.hashtable")
+
+let test_packed_layout_counters () =
+  let catalog = tiny_catalog () in
+  (* growing a label id to 1500 pushes (L+1)² past the dense slot limit *)
+  Catalog.note_node_added catalog ~labels:[| 1500 |];
+  with_obs @@ fun () ->
+  Catalog.freeze catalog;
+  Alcotest.(check int) "large key space freezes packed" 1
+    (counter "catalog.freeze.packed");
+  ignore (Catalog.rc catalog ~dir:Direction.Out ~node:(Some 0) ~types:[||] ~other:None);
+  Alcotest.(check int) "binary-search probe counted" 1
+    (counter "catalog.lookup.packed");
+  Alcotest.(check int) "no dense probes" 0 (counter "catalog.lookup.dense");
+  Catalog.thaw catalog
+
+(* ---- Chrome trace / metrics sinks ------------------------------------ *)
+
+let test_chrome_trace_roundtrip () =
+  with_obs @@ fun () ->
+  Lpp_obs.Trace.with_span ~cat:"outer" "parent" (fun () ->
+      Lpp_obs.Trace.with_span ~cat:"inner" "child" (fun () -> ()));
+  let doc = Lpp_obs.Export.chrome_trace () in
+  (* the emitted document must survive our own parser *)
+  match Json.of_string (Json.to_string doc) with
+  | Error msg -> Alcotest.failf "chrome trace does not reparse: %s" msg
+  | Ok doc' -> begin
+      Alcotest.(check bool) "round-trip equal" true (doc = doc');
+      match Json.member "traceEvents" doc' with
+      | Some (Json.List events) ->
+          let complete =
+            List.filter
+              (fun e -> Json.member "ph" e = Some (Json.String "X"))
+              events
+          in
+          let metadata =
+            List.filter
+              (fun e -> Json.member "ph" e = Some (Json.String "M"))
+              events
+          in
+          Alcotest.(check int) "one X event per span" 2 (List.length complete);
+          Alcotest.(check int) "one thread-name event per domain" 1
+            (List.length metadata);
+          List.iter
+            (fun e ->
+              Alcotest.(check bool) "ts/dur/pid/tid present" true
+                (List.for_all
+                   (fun k -> Json.member k e <> None)
+                   [ "name"; "cat"; "ts"; "dur"; "pid"; "tid" ]))
+            complete
+      | _ -> Alcotest.fail "traceEvents missing"
+    end
+
+let test_metrics_json_shape () =
+  let c = Lpp_obs.Metrics.counter "test.export_counter" in
+  let h = Lpp_obs.Metrics.histogram "test.export_hist" in
+  with_obs @@ fun () ->
+  Lpp_obs.Metrics.add c 5;
+  Lpp_obs.Metrics.observe h 3.0;
+  let doc = Lpp_obs.Export.metrics_json () in
+  match Json.of_string (Json.to_string doc) with
+  | Error msg -> Alcotest.failf "metrics json does not reparse: %s" msg
+  | Ok doc' -> begin
+      (match Json.member "counters" doc' with
+      | Some counters ->
+          Alcotest.(check bool) "counter exported" true
+            (Json.member "test.export_counter" counters = Some (Json.Int 5))
+      | None -> Alcotest.fail "counters missing");
+      match Json.member "histograms" doc' with
+      | Some hists -> begin
+          match Json.member "test.export_hist" hists with
+          | Some hist ->
+              Alcotest.(check bool) "count exported" true
+                (Json.member "count" hist = Some (Json.Int 1));
+              (match Json.member "buckets" hist with
+              | Some (Json.List [ bucket ]) ->
+                  Alcotest.(check bool) "3.0 in (2,4]" true
+                    (Json.member "lo" bucket = Some (Json.Float 2.0)
+                    && Json.member "hi" bucket = Some (Json.Float 4.0))
+              | _ -> Alcotest.fail "expected exactly one non-empty bucket")
+          | None -> Alcotest.fail "histogram missing"
+        end
+      | None -> Alcotest.fail "histograms missing"
+    end
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_summary_renders () =
+  with_obs @@ fun () ->
+  Lpp_obs.Trace.with_span ~cat:"t" "work" (fun () -> ());
+  Lpp_obs.Metrics.incr (Lpp_obs.Metrics.counter "test.summary_counter");
+  let text = Lpp_obs.Export.summary () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "summary mentions %s" needle)
+        true (contains text needle))
+    [ "work"; "test.summary_counter" ]
+
+(* ---- the disabled path is bit-identical ------------------------------ *)
+
+let random_graph rng =
+  let b = Lpp_pgraph.Graph_builder.create () in
+  let n = Rng.int_in rng 2 16 in
+  let nodes =
+    Array.init n (fun i ->
+        let labels =
+          List.filteri (fun j _ -> (i + j) mod 3 <> 0 || Rng.bool rng)
+            [ "A"; "B"; "C"; "D" ]
+        in
+        let props =
+          if Rng.coin rng 0.4 then [ ("k", Lpp_pgraph.Value.Int (Rng.int rng 4)) ]
+          else []
+        in
+        Lpp_pgraph.Graph_builder.add_node b ~labels ~props)
+  in
+  let m = Rng.int rng (3 * n) in
+  for _ = 1 to m do
+    let s = nodes.(Rng.int rng n) and d = nodes.(Rng.int rng n) in
+    ignore
+      (Lpp_pgraph.Graph_builder.add_rel b ~src:s ~dst:d
+         ~rel_type:(if Rng.bool rng then "u" else "v")
+         ~props:[])
+  done;
+  Lpp_pgraph.Graph_builder.freeze b
+
+let random_pattern rng max_nodes =
+  let open Lpp_pattern in
+  let n = Rng.int_in rng 1 max_nodes in
+  let nodes =
+    Array.init n (fun _ ->
+        { Pattern.n_labels = (if Rng.bool rng then [| Rng.int rng 4 |] else [||]);
+          n_props =
+            (if Rng.coin rng 0.25 then
+               [| (0, Pattern.Eq (Lpp_pgraph.Value.Int (Rng.int rng 4))) |]
+             else [||]) })
+  in
+  let rels = ref [] in
+  for i = 1 to n - 1 do
+    rels :=
+      { Pattern.r_src = i; r_dst = Rng.int rng i; r_types = [||];
+        r_directed = Rng.bool rng; r_props = [||];
+        r_hops = (if Rng.coin rng 0.15 then Some (1, 2) else None) }
+      :: !rels
+  done;
+  if n >= 2 && Rng.coin rng 0.3 then
+    rels :=
+      { Pattern.r_src = Rng.int rng n; r_dst = Rng.int rng n; r_types = [||];
+        r_directed = true; r_props = [||]; r_hops = None }
+      :: !rels;
+  Pattern.make ~nodes ~rels:(Array.of_list !rels)
+
+let prop_enabled_estimates_bit_identical =
+  QCheck.Test.make ~name:"Obs.enabled does not change any estimate bit"
+    ~count:40
+    (QCheck.make QCheck.Gen.(int_bound 100_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng in
+      let catalog = Catalog.build g in
+      if Rng.bool rng then Catalog.freeze catalog;
+      let algs =
+        List.init 4 (fun _ ->
+            match random_pattern rng 6 with
+            | p -> Some (Lpp_pattern.Planner.plan p)
+            | exception Invalid_argument _ -> None)
+        |> List.filter_map Fun.id
+      in
+      let configs = Lpp_core.Config.all @ [ Lpp_core.Config.a_lhdt ] in
+      let run () =
+        List.concat_map
+          (fun config ->
+            let session = Lpp_core.Estimator.make config catalog in
+            List.map
+              (fun alg ->
+                Int64.bits_of_float
+                  (Lpp_core.Estimator.session_estimate session alg))
+              algs)
+          configs
+      in
+      let disabled = run () in
+      let enabled =
+        Lpp_obs.Obs.enable ();
+        Fun.protect
+          ~finally:(fun () ->
+            Lpp_obs.Obs.disable ();
+            Lpp_obs.Obs.reset ())
+          run
+      in
+      disabled = enabled)
+
+let suite =
+  [
+    Alcotest.test_case "json: escape" `Quick test_json_escape;
+    Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: unicode escapes" `Quick test_json_parse_unicode;
+    Alcotest.test_case "json: float tokens" `Quick test_json_float_tokens;
+    Alcotest.test_case "clock: diff_ns" `Quick test_clock_diff_ns;
+    Alcotest.test_case "trace: nesting and args" `Quick test_span_nesting;
+    Alcotest.test_case "trace: unbalanced end ignored" `Quick
+      test_span_unbalanced_end;
+    Alcotest.test_case "trace: spans across domains" `Quick
+      test_spans_across_domains;
+    Alcotest.test_case "metrics: disabled writes are no-ops" `Quick
+      test_metrics_disabled_noop;
+    Alcotest.test_case "metrics: registration idempotent" `Quick
+      test_metrics_register_idempotent;
+    Alcotest.test_case "metrics: parallel counter merge" `Quick
+      test_counter_parallel_merge;
+    Alcotest.test_case "metrics: merged histogram = single-domain" `Quick
+      test_histogram_merge_matches_single_domain;
+    Alcotest.test_case "metrics: log2 buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "metrics: gauge max-merge" `Quick test_gauge_max_merge;
+    Alcotest.test_case "catalog: lookup-path counters" `Quick
+      test_lookup_path_counters;
+    Alcotest.test_case "catalog: packed-layout counters" `Quick
+      test_packed_layout_counters;
+    Alcotest.test_case "export: chrome trace round-trip" `Quick
+      test_chrome_trace_roundtrip;
+    Alcotest.test_case "export: metrics json shape" `Quick
+      test_metrics_json_shape;
+    Alcotest.test_case "export: text summary" `Quick test_summary_renders;
+    QCheck_alcotest.to_alcotest prop_enabled_estimates_bit_identical;
+  ]
