@@ -635,4 +635,7 @@ let all : (string * string * (Env.t -> unit)) list =
     ( "obs_overhead",
       "observability overhead: session estimates with tracing off vs on",
       Obs_overhead.run );
+    ( "serve",
+      "lpp serve load test: closed-loop + controlled-QPS latency/throughput",
+      Serve_bench.run );
   ]

@@ -1,0 +1,254 @@
+(* Load generator for the `lpp serve` service — the numbers behind
+   BENCH_serve.json.
+
+   The server runs in-process (reader + worker domains) on a temporary Unix
+   socket; the main domain drives it with Lpp_serve.Client:
+
+   - closed loop: a window of W pipelined requests is kept in flight; a new
+     request is sent the moment a response arrives, so offered = achieved and
+     latency includes queueing behind the window.
+   - open loop: requests are sent on a fixed schedule at a target QPS
+     (fractions of the best closed-loop rate) and responses are drained
+     asynchronously, so queueing delay shows up as latency, not as a lower
+     offered rate.
+
+   Latency is measured client-side per request (send → matching response;
+   responses are FIFO per connection). On the 1-core container the client,
+   reader and worker share the core, so these are honest end-to-end numbers,
+   not idealized server-side ones. Before any measurement the full pattern set
+   is checked bit-identical against an offline Estimator session on the same
+   catalog. *)
+
+open Lpp_util
+
+let fi = float_of_int
+
+let quantiles lats =
+  let sorted = Array.copy lats in
+  Array.sort compare sorted;
+  ( Quantiles.quantile sorted 0.5,
+    Quantiles.quantile sorted 0.99,
+    Quantiles.quantile sorted 0.999 )
+
+(* Send [total] requests keeping [window] in flight; returns
+   (wall_s, latencies_ns, errors). *)
+let closed_loop client ~lines ~total ~window =
+  let n_lines = Array.length lines in
+  let pending = Queue.create () in
+  let lats = Array.make total 0.0 in
+  let sent = ref 0 and recvd = ref 0 and errors = ref 0 in
+  let t0 = Clock.now_ns () in
+  while !recvd < total do
+    while !sent < total && !sent - !recvd < window do
+      Queue.push (Clock.now_ns ()) pending;
+      Lpp_serve.Client.send_line client lines.(!sent mod n_lines);
+      incr sent
+    done;
+    match Lpp_serve.Client.recv_line client with
+    | None -> failwith "serve bench: server closed the connection"
+    | Some resp ->
+        lats.(!recvd) <- Clock.elapsed_ns ~since:(Queue.pop pending);
+        incr recvd;
+        (* cheap check; the full-parse validation ran before measuring *)
+        if String.length resp < 11 || String.sub resp 0 11 <> {|{"ok":true,|}
+        then incr errors
+  done;
+  (Clock.elapsed_s ~since:t0, lats, !errors)
+
+(* Send [total] requests on a fixed schedule at [offered] QPS, draining
+   responses as they arrive. *)
+let open_loop client ~lines ~total ~offered =
+  let n_lines = Array.length lines in
+  let interval_ns = 1e9 /. offered in
+  let pending = Queue.create () in
+  let lats = Array.make total 0.0 in
+  let sent = ref 0 and recvd = ref 0 and errors = ref 0 in
+  let t0 = Clock.now_ns () in
+  let record resp =
+    lats.(!recvd) <- Clock.elapsed_ns ~since:(Queue.pop pending);
+    incr recvd;
+    if String.length resp < 11 || String.sub resp 0 11 <> {|{"ok":true,|} then
+      incr errors
+  in
+  while !recvd < total do
+    if !sent < total then begin
+      let due = fi !sent *. interval_ns in
+      let now = Clock.elapsed_ns ~since:t0 in
+      if now >= due then begin
+        Queue.push (Clock.now_ns ()) pending;
+        Lpp_serve.Client.send_line client lines.(!sent mod n_lines);
+        incr sent
+      end
+      else begin
+        (match Lpp_serve.Client.try_recv_line client with
+        | Some resp -> record resp
+        | None ->
+            let wait_s = (due -. now) /. 1e9 in
+            if wait_s > 1e-4 then Unix.sleepf (Float.min wait_s 1e-3))
+      end
+    end
+    else begin
+      match Lpp_serve.Client.recv_line client with
+      | None -> failwith "serve bench: server closed the connection"
+      | Some resp -> record resp
+    end
+  done;
+  (Clock.elapsed_s ~since:t0, lats, !errors)
+
+let request_line ~config pattern =
+  Json.to_string
+    (Json.Obj
+       [ ("op", Json.String "estimate");
+         ("config", Json.String config);
+         ("pattern", Json.String pattern) ])
+
+let run (env : Env.t) =
+  let ds = Env.dataset env "SNB" in
+  let patterns =
+    Env.queries env ~with_props:true "SNB"
+    |> List.map (fun (q : Lpp_workload.Query_gen.query) ->
+           Format.asprintf "%a"
+             (Lpp_pattern.Pattern.pp_parseable ~names:(Some ds.graph))
+             q.pattern)
+    |> Array.of_list
+  in
+  if Array.length patterns = 0 then failwith "serve bench: no queries";
+  let total, open_total =
+    match env.scale with Env.Quick -> (3_000, 2_000) | Env.Default -> (20_000, 8_000)
+  in
+  let addr =
+    Lpp_serve.Server.Unix_socket
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "lpp-serve-bench-%d.sock" (Unix.getpid ())))
+  in
+  let scfg = Lpp_serve.Server.default_config addr in
+  let server = Lpp_serve.Server.start scfg ~graph:ds.graph ~catalog:ds.catalog in
+  let client = Lpp_serve.Client.connect addr in
+  (* bit-identity first: every pattern, served vs an offline session *)
+  List.iter
+    (fun cfg ->
+      let session = Lpp_core.Estimator.make cfg ds.catalog in
+      let cfg_name = Lpp_core.Config.name cfg in
+      Array.iter
+        (fun text ->
+          let offline =
+            match Lpp_pattern.Parse.parse ds.graph text with
+            | Ok { pattern; _ } ->
+                Lpp_core.Estimator.session_estimate_pattern session pattern
+            | Error msg -> failwith ("serve bench: unparsable pattern: " ^ msg)
+          in
+          match Lpp_serve.Client.estimate client ~config:cfg_name text with
+          | Ok est when Int64.bits_of_float est = Int64.bits_of_float offline ->
+              ()
+          | Ok est ->
+              failwith
+                (Printf.sprintf "serve bench: %s: served %h <> offline %h"
+                   cfg_name est offline)
+          | Error msg -> failwith ("serve bench: " ^ msg))
+        patterns;
+      Printf.printf "[serve] %s: %d served estimates bit-identical to offline\n%!"
+        cfg_name (Array.length patterns))
+    [ Lpp_core.Config.s_l; Lpp_core.Config.a_lhd ];
+  let table =
+    Ascii_table.create
+      [ "mode"; "config"; "offered/s"; "achieved/s"; "p50"; "p99"; "p999" ]
+  in
+  let json_rows = ref [] in
+  let row ~mode ~cfg_name ~offered ~total ~wall ~lats ~errors =
+    if errors > 0 then
+      failwith (Printf.sprintf "serve bench: %d error responses" errors);
+    let achieved = fi total /. wall in
+    let p50, p99, p999 = quantiles lats in
+    let offered_s =
+      match offered with None -> "closed" | Some q -> Printf.sprintf "%.0f" q
+    in
+    Ascii_table.add_row table
+      [ mode; cfg_name; offered_s;
+        Printf.sprintf "%.0f" achieved;
+        Lpp_harness.Report.ns_to_string p50; Lpp_harness.Report.ns_to_string p99;
+        Lpp_harness.Report.ns_to_string p999 ];
+    json_rows :=
+      Printf.sprintf
+        "    { \"mode\": %S, \"config\": %S, \"offered_qps\": %s, \
+         \"achieved_qps\": %.1f, \"requests\": %d, \"wall_s\": %.3f, \
+         \"p50_ns\": %.0f, \"p99_ns\": %.0f, \"p999_ns\": %.0f, \"errors\": \
+         %d }"
+        mode cfg_name
+        (match offered with
+        | None -> Printf.sprintf "%.1f" achieved
+        | Some q -> Printf.sprintf "%.1f" q)
+        achieved total wall p50 p99 p999 errors
+      :: !json_rows;
+    achieved
+  in
+  let best = ref 0.0 in
+  List.iter
+    (fun cfg ->
+      let cfg_name = Lpp_core.Config.name cfg in
+      let lines = Array.map (request_line ~config:cfg_name) patterns in
+      List.iter
+        (fun window ->
+          let wall, lats, errors = closed_loop client ~lines ~total ~window in
+          let achieved =
+            row ~mode:(Printf.sprintf "closed w=%d" window) ~cfg_name
+              ~offered:None ~total ~wall ~lats ~errors
+          in
+          if achieved > !best then best := achieved;
+          Printf.printf "[serve] closed loop %-6s w=%-2d: %.0f estimates/sec\n%!"
+            cfg_name window achieved)
+        [ 1; 8; 32 ])
+    [ Lpp_core.Config.s_l; Lpp_core.Config.a_lhd ];
+  (* open loop on the full-featured config, offered at fractions of the best
+     closed-loop rate *)
+  let cfg_name = Lpp_core.Config.name Lpp_core.Config.a_lhd in
+  let lines = Array.map (request_line ~config:cfg_name) patterns in
+  List.iter
+    (fun frac ->
+      let offered = frac *. !best in
+      let wall, lats, errors =
+        open_loop client ~lines ~total:open_total ~offered
+      in
+      let achieved =
+        row ~mode:(Printf.sprintf "open %.0f%%" (100.0 *. frac)) ~cfg_name
+          ~offered:(Some offered) ~total:open_total ~wall ~lats ~errors
+      in
+      Printf.printf "[serve] open loop %.0f%%: offered %.0f, achieved %.0f\n%!"
+        (100.0 *. frac) offered achieved)
+    [ 0.25; 0.5 ];
+  let stats = Lpp_serve.Server.stats_json server in
+  Lpp_serve.Client.close client;
+  Lpp_serve.Server.stop server;
+  Ascii_table.print
+    ~title:
+      (Printf.sprintf
+         "lpp serve load test (SNB, %d worker(s), batch %d) — client-side \
+          latency"
+         scfg.Lpp_serve.Server.workers scfg.Lpp_serve.Server.batch)
+    table;
+  Printf.printf "[serve] best closed-loop rate: %.0f estimates/sec\n" !best;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scale\": %S,\n\
+    \  \"seed\": %d,\n\
+    \  \"dataset\": \"SNB\",\n\
+    \  \"host_domains\": %d,\n\
+    \  \"workers\": %d,\n\
+    \  \"batch\": %d,\n\
+    \  \"patterns\": %d,\n\
+    \  \"bit_identical\": true,\n\
+    \  \"best_closed_loop_qps\": %.1f,\n\
+    \  \"results\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"server_stats\": %s\n\
+     }\n"
+    (match env.scale with Env.Quick -> "quick" | Env.Default -> "default")
+    env.seed
+    (Domain.recommended_domain_count ())
+    scfg.Lpp_serve.Server.workers scfg.Lpp_serve.Server.batch
+    (Array.length patterns) !best
+    (String.concat ",\n" (List.rev !json_rows))
+    (Json.to_string stats);
+  close_out oc;
+  Printf.printf "[serve] wrote BENCH_serve.json\n%!"

@@ -36,7 +36,7 @@ let load_patterns (ds : Lpp_datasets.Dataset.t) ~file ~patterns ~fallback =
     List.map
       (fun (q : Lpp_workload.Query_gen.query) ->
         ( Format.asprintf "%a"
-            (Lpp_pattern.Pattern.pp ~names:(Some ds.graph))
+            (Lpp_pattern.Pattern.pp_parseable ~names:(Some ds.graph))
             q.pattern,
           Ok q.pattern ))
       (fallback ())

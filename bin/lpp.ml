@@ -257,26 +257,9 @@ let cmd_query =
 (* ---- lint ----------------------------------------------------------- *)
 
 let config_of_name name =
-  let canon =
-    String.lowercase_ascii name
-    |> String.map (function '_' | '%' -> '-' | c -> c)
-  in
-  let all = Lpp_core.Config.all @ [ Lpp_core.Config.a_lhdt ] in
-  match
-    List.find_opt
-      (fun c ->
-        let n =
-          String.lowercase_ascii (Lpp_core.Config.name c)
-          |> String.map (function '_' | '%' -> '-' | c -> c)
-        in
-        n = canon || n = canon ^ "-")
-      all
-  with
-  | Some c -> c
-  | None ->
-      failwith
-        (Printf.sprintf "unknown configuration %S (one of: %s)" name
-           (String.concat ", " (List.map Lpp_core.Config.name all)))
+  match Lpp_core.Config.of_name name with
+  | Ok c -> c
+  | Error msg -> failwith msg
 
 (* Arguments shared by the pattern-driven subcommands (lint, trace); both
    load patterns through Cli_common.load_patterns and exit 1 on errors. *)
@@ -485,6 +468,175 @@ let cmd_trace =
           $ props_arg $ smoke_arg $ config_arg $ file_arg $ out
           $ metrics_out_arg $ count $ patterns_arg)
 
+(* ---- serve ---------------------------------------------------------- *)
+
+let cmd_serve =
+  let run name seed smoke config_name socket port host workers batch max_line
+      max_pending check file n props trace_out metrics_out patterns =
+    let config = config_of_name config_name in
+    Cli_common.with_obs ?trace_out ?metrics_out @@ fun () ->
+    let ds = dataset_of_name name ~seed ~smoke in
+    let addr =
+      match port with
+      | Some p -> Lpp_serve.Server.Tcp (host, p)
+      | None ->
+          Lpp_serve.Server.Unix_socket
+            (Option.value socket
+               ~default:
+                 (if check then
+                    Filename.concat (Filename.get_temp_dir_name ())
+                      (Printf.sprintf "lpp-serve-check-%d.sock" (Unix.getpid ()))
+                  else "/tmp/lpp-serve.sock"))
+    in
+    let scfg =
+      let d = Lpp_serve.Server.default_config addr in
+      {
+        d with
+        Lpp_serve.Server.workers = Option.value workers ~default:d.Lpp_serve.Server.workers;
+        batch;
+        max_line;
+        max_pending;
+        estimator = config;
+      }
+    in
+    let server =
+      Lpp_serve.Server.start scfg ~graph:ds.graph ~catalog:ds.catalog
+    in
+    if check then begin
+      (* Self-test: every pattern must answer bit-identically to an offline
+         session over the same catalog, and the protocol must answer (not
+         drop) malformed input. Used by the @serve-smoke alias. *)
+      let loaded =
+        Cli_common.load_patterns ds ~file ~patterns ~fallback:(fun () ->
+            gen_workload ds ~seed ~n ~props)
+      in
+      let session = Lpp_core.Estimator.make config ds.catalog in
+      let client = Lpp_serve.Client.connect addr in
+      let failures = ref 0 in
+      let checked = ref 0 in
+      let fail fmt = incr failures; Printf.eprintf fmt in
+      List.iter
+        (fun (text, _) ->
+          (* re-parse the text here so both sides estimate the exact pattern
+             the server will parse off the wire *)
+          match Lpp_pattern.Parse.parse ds.graph text with
+          | Error _ -> begin
+              match Lpp_serve.Client.estimate client text with
+              | Error _ -> incr checked
+              | Ok _ ->
+                  fail "FAIL %s: server accepted an unparsable pattern\n" text
+            end
+          | Ok { pattern; _ } -> begin
+              let expect =
+                Lpp_core.Estimator.session_estimate_pattern session pattern
+              in
+              match Lpp_serve.Client.estimate client text with
+              | Ok est when est = expect -> incr checked
+              | Ok est -> fail "FAIL %s: served %h <> offline %h\n" text est expect
+              | Error msg -> fail "FAIL %s: %s\n" text msg
+            end)
+        loaded;
+      let expect_ok_false what line =
+        match Lpp_util.Json.member "ok" (Lpp_serve.Client.request client line) with
+        | Some (Lpp_util.Json.Bool false) -> ()
+        | _ -> fail "FAIL: %s was not answered with ok:false\n" what
+      in
+      expect_ok_false "malformed JSON" "{not json";
+      expect_ok_false "unknown op" {|{"op":"shrug"}|};
+      (match
+         Lpp_util.Json.member "ok" (Lpp_serve.Client.request client {|{"op":"ping"}|})
+       with
+      | Some (Lpp_util.Json.Bool true) -> ()
+      | _ -> fail "FAIL: ping did not pong\n");
+      (match
+         Lpp_util.Json.member "stats"
+           (Lpp_serve.Client.request client {|{"op":"stats"}|})
+       with
+      | Some (Lpp_util.Json.Obj _) -> ()
+      | _ -> fail "FAIL: stats op returned no stats object\n");
+      Lpp_serve.Client.close client;
+      Lpp_serve.Server.stop server;
+      Printf.printf "serve check (%s, %s): %d pattern(s) bit-identical, %d failure(s)\n"
+        ds.name
+        (Lpp_core.Config.name config)
+        !checked !failures;
+      Cli_common.exit_if_errors !failures
+    end
+    else begin
+      let stop = Atomic.make false in
+      let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+      Sys.set_signal Sys.sigint handler;
+      Sys.set_signal Sys.sigterm handler;
+      Printf.printf "lpp serve: %s (%s), %d worker(s), batch %d, listening on %s\n%!"
+        ds.name
+        (Lpp_core.Config.name config)
+        scfg.Lpp_serve.Server.workers scfg.Lpp_serve.Server.batch
+        (match addr with
+        | Lpp_serve.Server.Unix_socket p -> p
+        | Lpp_serve.Server.Tcp (h, p) -> Printf.sprintf "%s:%d" h p);
+      while not (Atomic.get stop) do
+        try Unix.sleepf 0.2 with Unix.Unix_error (EINTR, _, _) -> ()
+      done;
+      Printf.printf "draining and shutting down…\n%!";
+      Lpp_serve.Server.stop server;
+      print_endline (Lpp_util.Json.to_string (Lpp_serve.Server.stats_json server))
+    end
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix socket path (default /tmp/lpp-serve.sock)")
+  in
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"PORT" ~doc:"Listen on TCP instead of a Unix socket")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST" ~doc:"TCP bind address (with --port)")
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers"; "w" ] ~docv:"N"
+             ~doc:"Estimation domains (default: recommended domain count - 1)")
+  in
+  let batch =
+    Arg.(value & opt int 16
+         & info [ "batch" ] ~docv:"K" ~doc:"Max requests a worker drains per wakeup")
+  in
+  let max_line =
+    Arg.(value & opt int (64 * 1024)
+         & info [ "max-line" ] ~docv:"BYTES" ~doc:"Reject request lines longer than this")
+  in
+  let max_pending =
+    Arg.(value & opt int 1024
+         & info [ "max-pending" ] ~docv:"N"
+             ~doc:"Reject new requests when a worker has this many queued")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Self-test mode: serve on a temporary socket, verify the \
+                   given patterns (or a generated workload) answer \
+                   bit-identically to an offline session, then exit")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run a long-lived estimation service speaking NDJSON over a socket"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Builds the data set, freezes the statistics catalog and serves \
+               estimate requests over a Unix or TCP socket. One JSON request \
+               per line, one JSON response per line, in order per connection \
+               (see DESIGN.md \xc2\xa712 for the protocol). SIGINT/SIGTERM \
+               drain queued requests before exiting.";
+           `P "Try: echo '{\"op\": \"estimate\", \"pattern\": \
+               \"(a:Person)-[:KNOWS]->(b)\"}' | nc -U /tmp/lpp-serve.sock" ])
+    Term.(const run $ dataset_arg $ seed_arg $ smoke_arg $ config_arg $ socket
+          $ port $ host $ workers $ batch $ max_line $ max_pending $ check
+          $ file_arg $ queries_arg $ props_arg $ trace_out_arg
+          $ metrics_out_arg $ patterns_arg)
+
 let () =
   let info =
     Cmd.info "lpp" ~version:"1.0.0"
@@ -494,4 +646,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ cmd_datasets; cmd_workload; cmd_estimate; cmd_plan; cmd_query;
-            cmd_export; cmd_lint; cmd_trace ]))
+            cmd_export; cmd_lint; cmd_trace; cmd_serve ]))

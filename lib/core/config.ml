@@ -42,3 +42,25 @@ let name t =
   | Fixed f -> Printf.sprintf "%s-%.0f%%" base (100.0 *. f)
 
 let all = [ s_l; a_l; a_lh; a_ld; a_lhd; a_lhd_10pct ]
+
+(* Accepts the canonical names case-insensitively, with '_' for '-' and the
+   trailing "%" of "A-LHD-10%" optional — the spellings shells and JSON
+   clients actually produce. *)
+let of_name s =
+  let canon s =
+    String.lowercase_ascii s |> String.map (function '_' | '%' -> '-' | c -> c)
+  in
+  let wanted = canon s in
+  let candidates = all @ [ a_lhdt ] in
+  match
+    List.find_opt
+      (fun c ->
+        let n = canon (name c) in
+        n = wanted || n = wanted ^ "-")
+      candidates
+  with
+  | Some c -> Ok c
+  | None ->
+      Error
+        (Printf.sprintf "unknown configuration %S (one of: %s)" s
+           (String.concat ", " (List.map name candidates)))

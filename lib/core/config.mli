@@ -42,3 +42,8 @@ val name : t -> string
 
 val all : t list
 (** The six configurations of Figure 5, in the paper's order. *)
+
+val of_name : string -> (t, string) result
+(** Inverse of {!name} over {!all} plus {!a_lhdt}. Case-insensitive; accepts
+    ['_'] for ['-'] and an omitted trailing ["%"], so ["a-lhd-10"] resolves
+    to A-LHD-10%. The [Error] carries a message listing the valid names. *)

@@ -37,6 +37,10 @@ type session = {
   ord_buf : int array;  (* one cluster's labels, ranked *)
   ord_p : float array;  (* ranking keys, parallel to ord_buf *)
   ord_d : float array;
+  ord_dom : bool array;
+      (* ord_dom.(a): ord_buf.(a) is a strict sublabel of some already-ranked
+         label — maintained incrementally by [note_ranked] as the ranked
+         prefix grows, so [repr_prob] reads it in O(1) per factor *)
   repr_labels : int array;  (* representatives across all clusters *)
   repr_probs : float array;
   varlen_cur : float array;  (* hop-mixing state for variable-length paths *)
@@ -69,6 +73,7 @@ let make ?(checks = false) config catalog =
     ord_buf = Array.make n 0;
     ord_p = Array.make n 0.0;
     ord_d = Array.make n 0.0;
+    ord_dom = Array.make n false;
     repr_labels = Array.make n 0;
     repr_probs = Array.make n 0.0;
     varlen_cur = Array.make labels 0.0;
@@ -302,30 +307,50 @@ let order_cluster_into st ~prob cluster =
     cluster;
   !n
 
+(* Grow the ranked prefix to include st.ord_buf.(len): refresh its dominated
+   flag against the earlier ranks and propagate its negation down to them.
+   Callers invoke this after processing rank [len], keeping st.ord_dom exact
+   for every subsequent [repr_prob ~len:(len+1)] — O(len) here instead of the
+   O(len²) rescan per representative this replaced, which made deep ranked
+   prefixes (hierarchy configs leave all labels in one cluster) cubic in the
+   number of positive labels. *)
+let note_ranked st ~len =
+  let m = st.ord_buf.(len) in
+  let dominated = ref false in
+  for b = 0 to len - 1 do
+    if
+      (not !dominated)
+      && Label_hierarchy.is_strict_sublabel st.hierarchy m st.ord_buf.(b)
+    then dominated := true;
+    if
+      (not st.ord_dom.(b))
+      && Label_hierarchy.is_strict_sublabel st.hierarchy st.ord_buf.(b) m
+    then st.ord_dom.(b) <- true
+  done;
+  st.ord_dom.(len) <- !dominated
+
 (* P(v has ℓⱼ and none of the previously ranked labels), Equations 5–6. The
    previously ranked labels are st.ord_buf[0..len-1]; negation factors are
-   multiplied most-recently-ranked first over the hierarchy-maximal ones,
-   reproducing the exact float-product order of the list-based code. *)
+   multiplied most-recently-ranked first over the hierarchy-maximal ones
+   (st.ord_dom flags the dominated ranks), reproducing the exact
+   float-product order of the list-based code. *)
 let repr_prob st ~prob ~len lj =
   let p_lj = prob lj in
   if p_lj <= 0.0 then 0.0
   else begin
     let implies_negated = ref false in
-    for a = 0 to len - 1 do
-      if Label_hierarchy.is_strict_sublabel st.hierarchy lj st.ord_buf.(a) then
-        implies_negated := true
+    let a = ref 0 in
+    while (not !implies_negated) && !a < len do
+      if Label_hierarchy.is_strict_sublabel st.hierarchy lj st.ord_buf.(!a)
+      then implies_negated := true;
+      incr a
     done;
     if !implies_negated then 0.0 (* ℓⱼ implies a negated superlabel *)
     else begin
       let acc = ref p_lj in
       for a = len - 1 downto 0 do
-        let l' = st.ord_buf.(a) in
-        let has_superlabel = ref false in
-        for b = 0 to len - 1 do
-          if Label_hierarchy.is_strict_sublabel st.hierarchy l' st.ord_buf.(b)
-          then has_superlabel := true
-        done;
-        if not !has_superlabel then begin
+        if not st.ord_dom.(a) then begin
+          let l' = st.ord_buf.(a) in
           let factor =
             if Label_hierarchy.is_strict_sublabel st.hierarchy l' lj then
               (* exact under the hierarchy: P(ℓⱼ ∧ ¬ℓ') = P(ℓⱼ) − P(ℓ') *)
@@ -356,7 +381,8 @@ let representatives_into st ~prob =
           st.repr_probs.(!count) <- p;
           incr count;
           coverage := !coverage +. p
-        end
+        end;
+        if j < n - 1 then note_ranked st ~len:j
       done)
     (Label_partition.clusters st.partition);
   (!count, clamp01 !coverage)
@@ -581,7 +607,8 @@ let apply_merge_on st ~keep ~merge =
         cov_keep := !cov_keep +. pk;
         cov_merge := !cov_merge +. pm;
         let c = Catalog.nc st.catalog lj in
-        if c > 0 then labeled := !labeled +. (pk *. pm /. fi c)
+        if c > 0 then labeled := !labeled +. (pk *. pm /. fi c);
+        if j < n - 1 then note_ranked st ~len:j
       done)
     (Label_partition.clusters st.partition);
   let unl_keep = clamp01 (1.0 -. !cov_keep) in

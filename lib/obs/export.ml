@@ -75,6 +75,9 @@ let hist_json (h : Metrics.hist_snapshot) =
     [
       ("count", Json.Int h.count);
       ("sum", Json.Float h.sum);
+      ("p50", Json.Float (Metrics.hist_quantile h 0.50));
+      ("p90", Json.Float (Metrics.hist_quantile h 0.90));
+      ("p99", Json.Float (Metrics.hist_quantile h 0.99));
       ("buckets", Json.List !buckets);
     ]
 
@@ -107,6 +110,7 @@ type agg = {
   mutable total : int64;
   mutable min : int64;
   mutable max : int64;
+  mutable durs : float list;  (* exact per-call ns, for true quantiles *)
 }
 
 let summary () =
@@ -121,21 +125,35 @@ let summary () =
           a.calls <- a.calls + 1;
           a.total <- Int64.add a.total s.dur;
           if Int64.compare s.dur a.min < 0 then a.min <- s.dur;
-          if Int64.compare s.dur a.max > 0 then a.max <- s.dur
+          if Int64.compare s.dur a.max > 0 then a.max <- s.dur;
+          a.durs <- Int64.to_float s.dur :: a.durs
       | None ->
           Hashtbl.add by_name key
-            { calls = 1; total = s.dur; min = s.dur; max = s.dur })
+            {
+              calls = 1;
+              total = s.dur;
+              min = s.dur;
+              max = s.dur;
+              durs = [ Int64.to_float s.dur ];
+            })
     spans;
   let ms ns = Printf.sprintf "%.3f" (Int64.to_float ns /. 1e6) in
   let us ns = Printf.sprintf "%.1f" (Int64.to_float ns /. 1e3) in
   if Hashtbl.length by_name > 0 then begin
     let t =
       Ascii_table.create
-        [ "cat"; "span"; "calls"; "total ms"; "mean µs"; "min µs"; "max µs" ]
+        [
+          "cat"; "span"; "calls"; "total ms"; "mean µs"; "p50 µs"; "p99 µs";
+          "min µs"; "max µs";
+        ]
     in
     Hashtbl.fold (fun k a acc -> (k, a) :: acc) by_name []
     |> List.sort (fun ((_, _), a) ((_, _), b) -> Int64.compare b.total a.total)
     |> List.iter (fun ((cat, name), a) ->
+           (* exact quantiles: the aggregator kept every sample *)
+           let sorted = Array.of_list a.durs in
+           Array.sort Float.compare sorted;
+           let q p = Printf.sprintf "%.1f" (Quantiles.quantile sorted p /. 1e3) in
            Ascii_table.add_row t
              [
                (if cat = "" then "lpp" else cat);
@@ -143,6 +161,8 @@ let summary () =
                string_of_int a.calls;
                ms a.total;
                us (Int64.div a.total (Int64.of_int a.calls));
+               q 0.50;
+               q 0.99;
                us a.min;
                us a.max;
              ]);
@@ -168,15 +188,22 @@ let summary () =
     List.filter (fun (_, (h : Metrics.hist_snapshot)) -> h.count > 0) snap.histograms
   in
   if live_hists <> [] then begin
-    let t = Ascii_table.create [ "histogram"; "count"; "sum"; "mean" ] in
+    let t =
+      Ascii_table.create
+        [ "histogram"; "count"; "sum"; "mean"; "~p50"; "~p90"; "~p99" ]
+    in
     List.iter
       (fun (n, (h : Metrics.hist_snapshot)) ->
+        let q p = Printf.sprintf "%.1f" (Metrics.hist_quantile h p) in
         Ascii_table.add_row t
           [
             n;
             string_of_int h.count;
             Printf.sprintf "%.1f" h.sum;
             Printf.sprintf "%.2f" (h.sum /. float_of_int h.count);
+            q 0.50;
+            q 0.90;
+            q 0.99;
           ])
       live_hists;
     Buffer.add_string buf "\nHistograms\n";

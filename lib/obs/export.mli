@@ -14,12 +14,15 @@ val write_chrome_trace : string -> unit
 
 val metrics_json : unit -> Lpp_util.Json.t
 (** [{"counters": {..}, "gauges": {..}, "histograms": {..}}]; histograms
+    carry bucket-derived [p50]/[p90]/[p99] ({!Metrics.hist_quantile}) and
     list only their non-empty buckets as [{lo, hi, count}]. *)
 
 val write_metrics : string -> unit
 
 val summary : unit -> string
 (** Compact text report: spans aggregated by (cat, name) — calls, total,
-    mean/min/max — plus non-zero counters and non-empty histograms. *)
+    mean/min/max plus exact p50/p99 over the recorded samples
+    ([Lpp_util.Quantiles]) — and non-zero counters and non-empty histograms
+    with their bucket-derived ~p50/~p90/~p99. *)
 
 val print_summary : unit -> unit

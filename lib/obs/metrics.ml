@@ -175,6 +175,27 @@ let hist_value (m : metric) =
       Array.iteri (fun i n -> acc.buckets.(i) <- acc.buckets.(i) + n) c.hist;
       { acc with count = acc.count + c.v; sum = acc.sum +. c.sum })
 
+(* Quantiles derived from the log2 buckets: find the bucket holding rank
+   ⌈p·count⌉ and interpolate geometrically inside it (linearly inside
+   bucket 0, which spans (0, 1]). Exact to within one bucket — a factor of
+   2 — which is plenty for latency reporting. *)
+let hist_quantile (h : hist_snapshot) p =
+  if h.count = 0 then Float.nan
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (p *. float_of_int h.count)) in
+      if r < 1 then 1 else if r > h.count then h.count else r
+    in
+    let cum = ref 0 and i = ref 0 in
+    (* [incr] here is this module's counter incr, hence the explicit update *)
+    while !cum + h.buckets.(!i) < rank do
+      cum := !cum + h.buckets.(!i);
+      i := !i + 1
+    done;
+    let frac = float_of_int (rank - !cum) /. float_of_int h.buckets.(!i) in
+    if !i = 0 then frac else bucket_lo !i *. (2.0 ** frac)
+  end
+
 type snapshot = {
   counters : (string * int) list;
   gauges : (string * int) list;

@@ -45,6 +45,15 @@ type hist_snapshot = { count : int; sum : float; buckets : int array }
 
 val hist_value : histogram -> hist_snapshot
 
+val hist_quantile : hist_snapshot -> float -> float
+(** [hist_quantile h p] ([p] ∈ [\[0,1\]]) derives the value at rank
+    ⌈p·count⌉ from the log2 buckets, interpolating geometrically inside the
+    bucket (linearly inside bucket 0, which spans (0, 1]). Exact to within
+    one bucket's resolution — a factor of 2. [nan] on an empty histogram.
+    Used by the JSON/text sinks for p50/p90/p99 and by [lpp serve] for its
+    live latency report; callers holding exact samples should prefer
+    [Lpp_util.Quantiles]. *)
+
 type snapshot = {
   counters : (string * int) list;
   gauges : (string * int) list;

@@ -140,7 +140,7 @@ let has_properties t = prop_total t > 0
 let has_var_length t =
   Array.exists (fun r -> r.r_hops <> None) t.rels
 
-let pp ?(names = None) ppf t =
+let pp_with ~redeclare ?(names = None) ppf t =
   let open Lpp_pgraph in
   let label_name id =
     match names with Some g -> Interner.name (Graph.labels g) id | None -> "L" ^ string_of_int id
@@ -164,11 +164,15 @@ let pp ?(names = None) ppf t =
       Format.fprintf ppf "}"
     end
   in
+  let seen = Array.make (Array.length t.nodes) false in
   let pp_node ppf i =
     let n = t.nodes.(i) in
     Format.fprintf ppf "(n%d" i;
-    Array.iter (fun l -> Format.fprintf ppf ":%s" (label_name l)) n.n_labels;
-    pp_props ppf n.n_props;
+    if redeclare || not seen.(i) then begin
+      Array.iter (fun l -> Format.fprintf ppf ":%s" (label_name l)) n.n_labels;
+      pp_props ppf n.n_props
+    end;
+    seen.(i) <- true;
     Format.fprintf ppf ")"
   in
   Array.iteri
@@ -192,3 +196,6 @@ let pp ?(names = None) ppf t =
       pp_node ppf r.r_dst)
     t.rels;
   if Array.length t.rels = 0 then pp_node ppf 0
+
+let pp ?names ppf t = pp_with ~redeclare:true ?names ppf t
+let pp_parseable ?names ppf t = pp_with ~redeclare:false ?names ppf t

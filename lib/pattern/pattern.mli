@@ -106,3 +106,9 @@ val has_var_length : t -> bool
 val pp : ?names:(Lpp_pgraph.Graph.t option) -> Format.formatter -> t -> unit
 (** Render as an openCypher-like string; with [names] the ids are resolved to
     strings. *)
+
+val pp_parseable : ?names:(Lpp_pgraph.Graph.t option) -> Format.formatter -> t -> unit
+(** Like {!pp}, but a shared variable's labels and properties are declared only
+    at its first occurrence, so (with [names]) the output round-trips through
+    {!Lpp_pattern.Parse.parse} — what the serve self-test and the workload
+    export rely on. *)

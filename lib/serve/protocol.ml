@@ -1,0 +1,83 @@
+(* NDJSON request parsing and response construction. Pure: no I/O, no
+   server state — property-testable in isolation (test_serve.ml feeds it
+   arbitrary lines and checks every outcome is a well-formed response). *)
+
+open Lpp_util
+
+type request =
+  | Estimate of { id : Json.t option; pattern : string; config : string option }
+  | Ping of { id : Json.t option }
+  | Stats of { id : Json.t option }
+
+let with_id id fields =
+  match id with Some v -> ("id", v) :: fields | None -> fields
+
+let error ~id ~kind message =
+  Json.Obj
+    (with_id id
+       [
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [ ("kind", Json.String kind); ("message", Json.String message) ]
+         );
+       ])
+
+let rejected ~id ~reason =
+  Json.Obj
+    (with_id id
+       [
+         ("ok", Json.Bool false);
+         ("rejected", Json.Bool true);
+         ("reason", Json.String reason);
+       ])
+
+let ok_estimate ~id ~config ~estimate ~ns =
+  Json.Obj
+    (with_id id
+       [
+         ("ok", Json.Bool true);
+         ("estimate", Json.Float estimate);
+         ("config", Json.String config);
+         ("ns", Json.Float ns);
+       ])
+
+let pong ~id = Json.Obj (with_id id [ ("ok", Json.Bool true); ("pong", Json.Bool true) ])
+
+let ok_stats ~id stats =
+  Json.Obj (with_id id [ ("ok", Json.Bool true); ("stats", stats) ])
+
+let request_of_line line =
+  match Json.of_string line with
+  | Error msg -> Error (error ~id:None ~kind:"bad_json" msg)
+  | Ok json ->
+      let id = Json.member "id" json in
+      let str field =
+        match Json.member field json with
+        | Some (Json.String s) -> Some s
+        | Some _ | None -> None
+      in
+      (match json with
+      | Json.Obj _ -> begin
+          match str "op" with
+          | Some "estimate" -> begin
+              match str "pattern" with
+              | Some pattern -> Ok (Estimate { id; pattern; config = str "config" })
+              | None ->
+                  Error
+                    (error ~id ~kind:"bad_request"
+                       "estimate: string field \"pattern\" is required")
+            end
+          | Some "ping" -> Ok (Ping { id })
+          | Some "stats" -> Ok (Stats { id })
+          | Some op ->
+              Error
+                (error ~id ~kind:"bad_request"
+                   (Printf.sprintf
+                      "unknown op %S (estimate | ping | stats)" op))
+          | None ->
+              Error
+                (error ~id ~kind:"bad_request"
+                   "string field \"op\" is required")
+        end
+      | _ -> Error (error ~id:None ~kind:"bad_request" "request must be a JSON object"))

@@ -1,0 +1,56 @@
+(** The [lpp serve] wire protocol: newline-delimited JSON.
+
+    Every request is one line holding one JSON object; every line the client
+    sends gets exactly one JSON response line, in order. A request names its
+    operation in ["op"] and may carry an ["id"] (any JSON value), which the
+    response echoes verbatim so pipelined clients can correlate.
+
+    Requests:
+    {v
+    {"op": "estimate", "id": 7, "pattern": "(a:Person)-[:KNOWS]->(b)"}
+    {"op": "estimate", "pattern": "(a)-[:ACTS_IN]->(m)", "config": "A-LH"}
+    {"op": "ping"}
+    {"op": "stats"}
+    v}
+
+    Responses (["ok"] is always present):
+    {v
+    {"id": 7, "ok": true, "estimate": 42.0, "config": "A-LHD", "ns": 12345.0}
+    {"ok": true, "pong": true}
+    {"ok": true, "stats": {…}}
+    {"ok": false, "error": {"kind": "parse_error", "message": "…"}}
+    {"ok": false, "rejected": true, "reason": "overloaded"}
+    v}
+
+    Malformed input is answered, never dropped: a line that is not a JSON
+    object, names an unknown ["op"], or lacks a required field yields an
+    [ok:false] error response with a machine-readable [kind]. Admission
+    failures (line too long, queue full) yield [rejected:true] responses. *)
+
+type request =
+  | Estimate of { id : Lpp_util.Json.t option; pattern : string; config : string option }
+  | Ping of { id : Lpp_util.Json.t option }
+  | Stats of { id : Lpp_util.Json.t option }
+
+val request_of_line : string -> (request, Lpp_util.Json.t) result
+(** Parse one request line. The [Error] is the complete [ok:false] response
+    to send back — it preserves the request's ["id"] when one could be
+    extracted. Never raises. *)
+
+val ok_estimate :
+  id:Lpp_util.Json.t option ->
+  config:string ->
+  estimate:float ->
+  ns:float ->
+  Lpp_util.Json.t
+
+val pong : id:Lpp_util.Json.t option -> Lpp_util.Json.t
+
+val ok_stats : id:Lpp_util.Json.t option -> Lpp_util.Json.t -> Lpp_util.Json.t
+
+val error : id:Lpp_util.Json.t option -> kind:string -> string -> Lpp_util.Json.t
+(** [kind] is machine-readable: ["bad_json"], ["bad_request"],
+    ["parse_error"], ["unknown_config"] or ["internal"]. *)
+
+val rejected : id:Lpp_util.Json.t option -> reason:string -> Lpp_util.Json.t
+(** Admission refusal; [reason] is ["oversized"] or ["overloaded"]. *)

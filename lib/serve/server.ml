@@ -1,0 +1,490 @@
+(* The serving runtime. Domain layout and ownership:
+
+   - reader domain: owns the listen socket and every connection's read side
+     (select loop, per-connection line buffer, admission). Never writes to
+     connections and never touches estimator state.
+   - worker domains: own the write side of their connections, their private
+     estimator sessions, and their latency counters. A connection is owned
+     by exactly one worker (round-robin at accept), so per-connection
+     response order equals request order and writes need no lock.
+   - fd lifecycle: the reader stops reading a connection on EOF/error and
+     enqueues a final [Close] job; the owning worker closes the fd after
+     the jobs queued before it — no close/write race by construction.
+
+   Shutdown (stop, SIGINT/SIGTERM via the CLI): the stopping flag makes the
+   reader close the listener, enqueue [Close] for every live connection and
+   raise reader_done; workers exit once reader_done is up and their queue is
+   drained, so every admitted request is answered before its socket dies. *)
+
+open Lpp_util
+
+type addr = Unix_socket of string | Tcp of string * int
+
+type config = {
+  addr : addr;
+  workers : int;
+  batch : int;
+  max_line : int;
+  max_pending : int;
+  estimator : Lpp_core.Config.t;
+}
+
+let default_config addr =
+  {
+    addr;
+    workers = max 1 (Domain.recommended_domain_count () - 1);
+    batch = 16;
+    max_line = 64 * 1024;
+    max_pending = 1024;
+    estimator = Lpp_core.Config.a_lhd;
+  }
+
+(* Metrics-registry mirrors of the internal counters: live only when the
+   observability switch is on, so `lpp serve --metrics` exports them without
+   taxing the default path. *)
+let m_requests = Lpp_obs.Metrics.counter "serve.requests"
+
+let m_errors = Lpp_obs.Metrics.counter "serve.errors"
+
+let m_rejected = Lpp_obs.Metrics.counter "serve.rejected"
+
+let m_request_ns = Lpp_obs.Metrics.histogram "serve.request_ns"
+
+type conn = {
+  fd : Unix.file_descr;
+  owner : int;  (* worker index *)
+  rbuf : Buffer.t;  (* partial last line, reader-owned *)
+  mutable discarding : bool;  (* inside an oversized line, reader-owned *)
+  mutable wdead : bool;  (* a write failed; skip the rest, worker-owned *)
+}
+
+type job =
+  | Line of conn * string  (* a complete request line *)
+  | Reject of conn * Json.t  (* admission refusal, response prebuilt *)
+  | Close of conn  (* last job for this connection: close the fd *)
+
+type worker = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  jobs : job Queue.t;
+  mutable queued_lines : int;  (* Line jobs in [jobs]; admission reads it *)
+  (* Single-writer statistics (this worker), read lock-free by [stats_json]:
+     word-sized stores cannot tear, so a concurrent read is a momentary but
+     valid view — same contract as Lpp_obs.Metrics. *)
+  mutable served : int;
+  mutable errors : int;
+  mutable rejected : int;
+  mutable busy_ns : float;
+  mutable lat_count : int;
+  mutable lat_sum : float;
+  lat_buckets : int array;  (* Lpp_obs.Metrics log2 bucket shape *)
+}
+
+type t = {
+  cfg : config;
+  graph : Lpp_pgraph.Graph.t;
+  catalog : Lpp_stats.Catalog.t;
+  parse_mu : Mutex.t;  (* Parse.parse interns into the shared graph *)
+  stopping : bool Atomic.t;
+  reader_done : bool Atomic.t;
+  start_ns : int64;
+  workers : worker array;
+  listen_fd : Unix.file_descr;
+  unlink_on_close : string option;
+  mutable domains : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+(* ---- queues ---------------------------------------------------------- *)
+
+let enqueue w job =
+  Mutex.lock w.mu;
+  (match job with Line _ -> w.queued_lines <- w.queued_lines + 1 | _ -> ());
+  Queue.push job w.jobs;
+  Condition.signal w.cv;
+  Mutex.unlock w.mu
+
+(* Up to [batch] jobs in arrival order; [] only at shutdown. *)
+let drain st w ~batch =
+  Mutex.lock w.mu;
+  while Queue.is_empty w.jobs && not (Atomic.get st.reader_done) do
+    Condition.wait w.cv w.mu
+  done;
+  let out = ref [] in
+  let n = ref 0 in
+  while !n < batch && not (Queue.is_empty w.jobs) do
+    let job = Queue.pop w.jobs in
+    (match job with Line _ -> w.queued_lines <- w.queued_lines - 1 | _ -> ());
+    out := job :: !out;
+    incr n
+  done;
+  Mutex.unlock w.mu;
+  List.rev !out
+
+(* ---- worker ---------------------------------------------------------- *)
+
+(* Connection fds are non-blocking (the reader needs that); a full send
+   buffer therefore surfaces as EAGAIN here. Waiting for writability is the
+   intended backpressure: a client that stops reading stalls its own worker,
+   never the reader or the other workers' connections. *)
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write_substring fd s !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        ignore (Unix.select [] [ fd ] [] 0.2)
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done
+
+let respond conn json =
+  if not conn.wdead then begin
+    match write_all conn.fd (Json.to_string json ^ "\n") with
+    | () -> ()
+    | exception Unix.Unix_error _ ->
+        (* broken pipe: the reader will see the hangup and queue the Close;
+           stop writing so one dead client cannot wedge its worker *)
+        conn.wdead <- true
+  end
+
+(* Aggregated live statistics. Reads every worker's single-writer counters
+   without locks: word-sized loads cannot tear, so concurrent readers get a
+   momentary but valid view (exact once the workload is quiescent) — the
+   same contract as Lpp_obs.Metrics. *)
+let stats_json st =
+  let total f = Array.fold_left (fun acc w -> acc + f w) 0 st.workers in
+  let served = total (fun w -> w.served) in
+  let errors = total (fun w -> w.errors) in
+  let rejected = total (fun w -> w.rejected) in
+  let uptime_s = Clock.elapsed_s ~since:st.start_ns in
+  let hist =
+    let buckets = Array.make Lpp_obs.Metrics.bucket_count 0 in
+    Array.iter
+      (fun w ->
+        Array.iteri (fun i n -> buckets.(i) <- buckets.(i) + n) w.lat_buckets)
+      st.workers;
+    {
+      Lpp_obs.Metrics.count = total (fun w -> w.lat_count);
+      sum = Array.fold_left (fun acc w -> acc +. w.lat_sum) 0.0 st.workers;
+      buckets;
+    }
+  in
+  let q p = Lpp_obs.Metrics.hist_quantile hist p in
+  let per_worker w =
+    Json.Obj
+      [
+        ("served", Json.Int w.served);
+        ("errors", Json.Int w.errors);
+        ("rejected", Json.Int w.rejected);
+        ("busy_ns", Json.Float w.busy_ns);
+        ( "utilization",
+          Json.Float
+            (if uptime_s > 0.0 then w.busy_ns /. (uptime_s *. 1e9) else 0.0) );
+      ]
+  in
+  Json.Obj
+    [
+      ("served", Json.Int served);
+      ("errors", Json.Int errors);
+      ("rejected", Json.Int rejected);
+      ("uptime_s", Json.Float uptime_s);
+      ( "estimates_per_sec",
+        Json.Float
+          (if uptime_s > 0.0 then float_of_int served /. uptime_s else 0.0) );
+      ( "latency",
+        Json.Obj
+          [
+            ("count", Json.Int hist.Lpp_obs.Metrics.count);
+            ( "mean_ns",
+              Json.Float
+                (if hist.Lpp_obs.Metrics.count = 0 then 0.0
+                 else
+                   hist.Lpp_obs.Metrics.sum
+                   /. float_of_int hist.Lpp_obs.Metrics.count) );
+            ("p50_ns", Json.Float (q 0.50));
+            ("p90_ns", Json.Float (q 0.90));
+            ("p99_ns", Json.Float (q 0.99));
+          ] );
+      ("workers", Json.List (Array.to_list (Array.map per_worker st.workers)));
+    ]
+
+(* One request line, start to finish. Returns the response; classification
+   happens via the counters. Any escape — including estimator bugs — turns
+   into an ["internal"] error response rather than a dead worker. *)
+let answer st w sessions line =
+  match Protocol.request_of_line line with
+  | Error resp ->
+      w.errors <- w.errors + 1;
+      resp
+  | Ok (Protocol.Ping { id }) -> Protocol.pong ~id
+  | Ok (Protocol.Stats { id }) -> Protocol.ok_stats ~id (stats_json st)
+  | Ok (Protocol.Estimate { id; pattern; config }) -> begin
+      let resolved =
+        match config with
+        | None -> Ok st.cfg.estimator
+        | Some name -> Lpp_core.Config.of_name name
+      in
+      match resolved with
+      | Error msg ->
+          w.errors <- w.errors + 1;
+          Protocol.error ~id ~kind:"unknown_config" msg
+      | Ok est_cfg -> begin
+          let session =
+            match List.assoc_opt est_cfg !sessions with
+            | Some s -> s
+            | None ->
+                let s = Lpp_core.Estimator.make est_cfg st.catalog in
+                sessions := (est_cfg, s) :: !sessions;
+                s
+          in
+          let parsed =
+            Mutex.lock st.parse_mu;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock st.parse_mu)
+              (fun () -> Lpp_pattern.Parse.parse st.graph pattern)
+          in
+          match parsed with
+          | Error msg ->
+              w.errors <- w.errors + 1;
+              Protocol.error ~id ~kind:"parse_error" msg
+          | Ok { pattern = p; _ } -> begin
+              let t0 = Clock.now_ns () in
+              match Lpp_core.Estimator.session_estimate_pattern session p with
+              | estimate ->
+                  let ns = Clock.elapsed_ns ~since:t0 in
+                  w.served <- w.served + 1;
+                  Protocol.ok_estimate ~id
+                    ~config:(Lpp_core.Config.name est_cfg)
+                    ~estimate ~ns
+              | exception e ->
+                  w.errors <- w.errors + 1;
+                  Protocol.error ~id ~kind:"internal" (Printexc.to_string e)
+            end
+        end
+    end
+
+let worker_loop st idx =
+  let w = st.workers.(idx) in
+  (* the default-config session is shared by most requests; others are
+     created on first use and kept for the worker's lifetime *)
+  let sessions =
+    ref [ (st.cfg.estimator, Lpp_core.Estimator.make st.cfg.estimator st.catalog) ]
+  in
+  let live = Lpp_obs.Obs.live in
+  let run_job = function
+    | Close conn -> (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    | Reject (conn, resp) ->
+        w.rejected <- w.rejected + 1;
+        if !live then Lpp_obs.Metrics.incr m_rejected;
+        respond conn resp
+    | Line (conn, line) ->
+        let t0 = Clock.now_ns () in
+        let errors_before = w.errors in
+        let resp = answer st w sessions line in
+        respond conn resp;
+        if !live && w.errors > errors_before then Lpp_obs.Metrics.incr m_errors;
+        let ns = Clock.elapsed_ns ~since:t0 in
+        w.busy_ns <- w.busy_ns +. ns;
+        w.lat_count <- w.lat_count + 1;
+        w.lat_sum <- w.lat_sum +. ns;
+        let b = Lpp_obs.Metrics.bucket_of ns in
+        w.lat_buckets.(b) <- w.lat_buckets.(b) + 1;
+        if !live then begin
+          Lpp_obs.Metrics.incr m_requests;
+          Lpp_obs.Metrics.observe m_request_ns ns
+        end
+  in
+  let rec loop () =
+    match drain st w ~batch:st.cfg.batch with
+    | [] -> ()  (* reader done and queue empty: drained, exit *)
+    | jobs ->
+        List.iter run_job jobs;
+        loop ()
+  in
+  loop ()
+
+(* ---- reader ---------------------------------------------------------- *)
+
+(* Split [conn.rbuf] plus freshly-read bytes into complete lines and apply
+   admission per line. An overlong line is answered with one [oversized]
+   rejection when its prefix first exceeds the limit; the rest of it is
+   discarded as it streams in. *)
+let feed st conn bytes n =
+  Buffer.add_subbytes conn.rbuf bytes 0 n;
+  let data = Buffer.contents conn.rbuf in
+  Buffer.clear conn.rbuf;
+  let len = String.length data in
+  let w = st.workers.(conn.owner) in
+  let admit line =
+    (* tolerate CRLF framing; whitespace-only lines are ignored, so an
+       interactive `nc` session can hit return without earning an error *)
+    let line =
+      if String.length line > 0 && line.[String.length line - 1] = '\r' then
+        String.sub line 0 (String.length line - 1)
+      else line
+    in
+    if String.trim line = "" then ()
+    else if String.length line > st.cfg.max_line then
+      enqueue w (Reject (conn, Protocol.rejected ~id:None ~reason:"oversized"))
+    else begin
+      let full =
+        Mutex.lock w.mu;
+        let f = w.queued_lines >= st.cfg.max_pending in
+        Mutex.unlock w.mu;
+        f
+      in
+      if full then
+        enqueue w (Reject (conn, Protocol.rejected ~id:None ~reason:"overloaded"))
+      else enqueue w (Line (conn, line))
+    end
+  in
+  let start = ref 0 in
+  (try
+     while !start <= len - 1 do
+       match String.index_from data !start '\n' with
+       | nl ->
+           let line = String.sub data !start (nl - !start) in
+           if conn.discarding then conn.discarding <- false
+           else admit line;
+           start := nl + 1
+       | exception Not_found -> raise Exit
+     done
+   with Exit -> ());
+  let rem = len - !start in
+  if conn.discarding then () (* still inside the oversized line: drop *)
+  else if rem > st.cfg.max_line then begin
+    enqueue w (Reject (conn, Protocol.rejected ~id:None ~reason:"oversized"));
+    conn.discarding <- true
+  end
+  else if rem > 0 then Buffer.add_substring conn.rbuf data !start rem
+
+let reader_loop st =
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let next = ref 0 in
+  let bytes = Bytes.create 65536 in
+  let hangup conn =
+    Hashtbl.remove conns conn.fd;
+    enqueue st.workers.(conn.owner) (Close conn)
+  in
+  let accept_all () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept ~cloexec:true st.listen_fd with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          let owner = !next mod Array.length st.workers in
+          incr next;
+          Hashtbl.replace conns fd
+            { fd; owner; rbuf = Buffer.create 256; discarding = false;
+              wdead = false }
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+    done
+  in
+  let read_conn conn =
+    match Unix.read conn.fd bytes 0 (Bytes.length bytes) with
+    | 0 -> hangup conn
+    | n -> feed st conn bytes n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> hangup conn
+  in
+  while not (Atomic.get st.stopping) do
+    let fds = st.listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+    match Unix.select fds [] [] 0.05 with
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = st.listen_fd then accept_all ()
+            else
+              match Hashtbl.find_opt conns fd with
+              | Some conn -> read_conn conn
+              | None -> ())
+          readable
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done;
+  (* graceful drain: no new connections or requests; queued work survives *)
+  (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+  Option.iter (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ())
+    st.unlink_on_close;
+  Hashtbl.iter (fun _ conn -> enqueue st.workers.(conn.owner) (Close conn)) conns;
+  Atomic.set st.reader_done true;
+  Array.iter
+    (fun w ->
+      Mutex.lock w.mu;
+      Condition.broadcast w.cv;
+      Mutex.unlock w.mu)
+    st.workers
+
+(* ---- lifecycle ------------------------------------------------------- *)
+
+let bind_listen addr =
+  match addr with
+  | Unix_socket path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      Unix.bind fd (ADDR_UNIX path);
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      (fd, Some path)
+  | Tcp (host, port) ->
+      let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+      Unix.setsockopt fd SO_REUSEADDR true;
+      Unix.bind fd (ADDR_INET (Unix.inet_addr_of_string host, port));
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      (fd, None)
+
+let start (cfg : config) ~graph ~catalog =
+  if cfg.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if cfg.batch < 1 then invalid_arg "Server.start: batch must be >= 1";
+  Lpp_stats.Catalog.freeze catalog;
+  let listen_fd, unlink_on_close = bind_listen cfg.addr in
+  let worker () =
+    {
+      mu = Mutex.create ();
+      cv = Condition.create ();
+      jobs = Queue.create ();
+      queued_lines = 0;
+      served = 0;
+      errors = 0;
+      rejected = 0;
+      busy_ns = 0.0;
+      lat_count = 0;
+      lat_sum = 0.0;
+      lat_buckets = Array.make Lpp_obs.Metrics.bucket_count 0;
+    }
+  in
+  let st =
+    {
+      cfg;
+      graph;
+      catalog;
+      parse_mu = Mutex.create ();
+      stopping = Atomic.make false;
+      reader_done = Atomic.make false;
+      start_ns = Clock.now_ns ();
+      workers = Array.init cfg.workers (fun _ -> worker ());
+      listen_fd;
+      unlink_on_close;
+      domains = [];
+      stopped = false;
+    }
+  in
+  let workers =
+    List.init cfg.workers (fun i -> Domain.spawn (fun () -> worker_loop st i))
+  in
+  let reader = Domain.spawn (fun () -> reader_loop st) in
+  (* reader last in the list: [stop] joins it first so reader_done is up
+     before the workers are joined *)
+  st.domains <- reader :: workers;
+  st
+
+let stop st =
+  if not st.stopped then begin
+    st.stopped <- true;
+    Atomic.set st.stopping true;
+    List.iter Domain.join st.domains;
+    st.domains <- []
+  end

@@ -1,0 +1,56 @@
+(** A long-lived estimation service over a Unix or TCP socket.
+
+    The expensive state — the graph and its frozen statistics catalog — is
+    built once by the caller and shared immutably across [workers] estimation
+    domains; each worker owns a private {!Lpp_core.Estimator.make} session, so
+    the hot path allocates (almost) nothing and takes no locks. One reader
+    domain owns all socket I/O: it accepts connections, performs admission
+    (line-length and queue-depth limits) and enqueues complete request lines
+    onto the owning worker's queue; workers drain up to [batch] requests per
+    wakeup, answer on the connection, and record per-request latency.
+
+    Connections are assigned to workers round-robin at accept time and stay
+    with that worker, so responses on one connection always come back in
+    request order — pipelining is safe without request ids.
+
+    The only cross-domain mutability is the per-worker job queue (mutex +
+    condition), a parse-time lock (pattern parsing interns names into the
+    shared graph vocabulary) and the shutdown flags; see DESIGN.md §12 for
+    the invariants. *)
+
+type addr =
+  | Unix_socket of string  (** filesystem path; unlinked on shutdown *)
+  | Tcp of string * int  (** host, port *)
+
+type config = {
+  addr : addr;
+  workers : int;  (** estimation domains (≥ 1) *)
+  batch : int;  (** max requests a worker drains per wakeup (≥ 1) *)
+  max_line : int;  (** request lines longer than this are rejected *)
+  max_pending : int;  (** per-worker queued-request cap; excess is rejected *)
+  estimator : Lpp_core.Config.t;  (** default estimator configuration *)
+}
+
+val default_config : addr -> config
+(** [workers] = recommended domain count − 1 (the reader), at least 1;
+    [batch] 16; [max_line] 64 KiB; [max_pending] 1024; [estimator] A-LHD. *)
+
+type t
+
+val start :
+  config -> graph:Lpp_pgraph.Graph.t -> catalog:Lpp_stats.Catalog.t -> t
+(** Freeze the catalog (idempotent), bind and listen on [config.addr], and
+    spawn the reader and worker domains. Returns once the socket accepts
+    connections. @raise Unix.Unix_error if the address cannot be bound. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, let the workers drain every request
+    already queued (each still gets its response), close all connections and
+    join every domain. Idempotent. *)
+
+val stats_json : t -> Lpp_util.Json.t
+(** Live service statistics — also what the ["stats"] op answers: request
+    counts by outcome, uptime, estimates/sec, latency mean and
+    bucket-derived p50/p90/p99 ({!Lpp_obs.Metrics.hist_quantile}), and
+    per-worker served counts and busy fractions. Lock-free momentary view,
+    exact once quiescent. *)

@@ -8,12 +8,34 @@ open Lpp_pgraph
    arrays so [rc]/[simple_rc] become branch-light array reads. Both wildcard
    sides and the "any type" projection share one key space: label ids shift
    by one (star → 0) and type ids shift by one (any → 0), giving the packed
-   key ((typ+1)·(L+1) + l1+1)·(L+1) + l2+1. Small key spaces get the dense
-   array directly; large ones (hundreds of labels × types, as in the
-   DBpedia-like generator) get the sorted key/count pair with binary search,
-   which costs O(log entries) but only bytes per *occupied* key. *)
+   key ((typ+1)·(L+1) + l1+1)·(L+1) + l2+1. The layout is chosen adaptively
+   at freeze time:
+
+   - [Dense]: small key spaces get the counter matrix directly — O(1) reads
+     and contiguous [rc_row] sweeps.
+   - [Rows]: large sparse key spaces (hundreds of labels × types, as in the
+     DBpedia-like generator) get a CSR-style two-level layout: a dense row
+     directory indexed by (type, near label) whose slots delimit the sorted
+     far-label entries of that row. A lookup binary-searches only the
+     handful of occupied far labels of its row instead of the whole table,
+     and [rc_row] walks the row's entries directly. A transposed (dst-major)
+     mirror serves the [In] direction sweeps. This replaced a single flat
+     sorted-key array whose whole-table binary searches lost to the mutable
+     hashtables on DBpedia-sized keyspaces.
+   - [Packed]: if even the row directory would be outlandish (label ids so
+     sparse that (T+1)·(L+1) exceeds the slot limit), fall back to the flat
+     sorted key/count pair with whole-table binary search, which costs
+     O(log entries) but only bytes per *occupied* key. *)
 type layout =
   | Dense of int array  (* (T+1)·(L+1)² counters, index = packed key *)
+  | Rows of {
+      row_start : int array;  (* (T+1)·(L+1) + 1 slots; row = tyo·(L+1) + l1o *)
+      cols : int array;  (* far label (+1), ascending within each row *)
+      cnts : int array;
+      tr_row_start : int array;  (* dst-major mirror for In-direction sweeps *)
+      tr_cols : int array;  (* near label (+1) *)
+      tr_cnts : int array;
+    }
   | Packed of { keys : int array; counts : int array }  (* sorted by key *)
 
 type frozen = {
@@ -63,6 +85,8 @@ let m_lookup_miss = Lpp_obs.Metrics.counter "catalog.lookup.miss"
 let m_lookup_hashtable = Lpp_obs.Metrics.counter "catalog.lookup.hashtable"
 
 let m_rc_row_dense = Lpp_obs.Metrics.counter "catalog.rc_row.dense"
+
+let m_rc_row_rows = Lpp_obs.Metrics.counter "catalog.rc_row.rows"
 
 let m_rc_row_generic = Lpp_obs.Metrics.counter "catalog.rc_row.generic"
 
@@ -227,12 +251,37 @@ let mem_advanced_of t ~triple_entries =
         ~key_bytes:(3 * Lpp_util.Mem_size.int_entry)
         ~value_bytes:Lpp_util.Mem_size.int_entry
 
-(* Above this many dense slots, switch to the packed layout: 2M counters
+(* Above this many dense slots, switch to the CSR rows layout: 2M counters
    (16 MB) covers every generated dataset's (L+1)²·(T+1) comfortably while
-   keeping adversarial label vocabularies from allocating gigabytes. *)
+   keeping adversarial label vocabularies from allocating gigabytes. The
+   same limit bounds the rows layout's row directory ((T+1)·(L+1) slots);
+   beyond it the flat sorted-key fallback kicks in. *)
 let dense_slot_limit = 2_000_000
 
 let pack ~l1 ~typ ~l2 ~labels1 = (((typ + 1) * labels1) + l1 + 1) * labels1 + (l2 + 1)
+
+(* Compress sorted (key, count) entries into a CSR row directory. Keys are
+   row·labels1 + col, so sorting by key sorts by (row, col) and the
+   sequential fill below leaves each row's cols ascending. *)
+let csr_of_entries entries ~nrows ~labels1 =
+  Array.sort (fun (k1, _) (k2, _) -> Int.compare k1 k2) entries;
+  let row_start = Array.make (nrows + 1) 0 in
+  Array.iter
+    (fun (k, _) ->
+      let r = k / labels1 in
+      row_start.(r + 1) <- row_start.(r + 1) + 1)
+    entries;
+  for r = 1 to nrows do
+    row_start.(r) <- row_start.(r) + row_start.(r - 1)
+  done;
+  let n = Array.length entries in
+  let cols = Array.make n 0 and cnts = Array.make n 0 in
+  Array.iteri
+    (fun i (k, c) ->
+      cols.(i) <- k mod labels1;
+      cnts.(i) <- c)
+    entries;
+  (row_start, cols, cnts)
 
 let freeze t =
   if t.frozen = None then begin
@@ -267,24 +316,43 @@ let freeze t =
       else begin
         Lpp_obs.Metrics.incr m_freeze_packed;
         let n = Hashtbl.length t.any_type + Hashtbl.length t.triples in
-        let entries = Array.make n (0, 0) in
-        let i = ref 0 in
-        Hashtbl.iter
-          (fun (l1, l2) c ->
-            entries.(!i) <- (pack ~l1 ~typ:star ~l2 ~labels1, c);
-            incr i)
-          t.any_type;
-        Hashtbl.iter
-          (fun (l1, typ, l2) c ->
-            entries.(!i) <- (pack ~l1 ~typ ~l2 ~labels1, c);
-            incr i)
-          t.triples;
-        Array.sort (fun (k1, _) (k2, _) -> Int.compare k1 k2) entries;
-        Packed
-          {
-            keys = Array.map fst entries;
-            counts = Array.map snd entries;
-          }
+        let gather key_of =
+          let entries = Array.make n (0, 0) in
+          let i = ref 0 in
+          Hashtbl.iter
+            (fun (l1, l2) c ->
+              entries.(!i) <- (key_of ~l1 ~typ:star ~l2, c);
+              incr i)
+            t.any_type;
+          Hashtbl.iter
+            (fun (l1, typ, l2) c ->
+              entries.(!i) <- (key_of ~l1 ~typ ~l2, c);
+              incr i)
+            t.triples;
+          entries
+        in
+        let nrows = (types + 1) * labels1 in
+        if nrows <= dense_slot_limit then begin
+          let row_start, cols, cnts =
+            csr_of_entries (gather (pack ~labels1)) ~nrows ~labels1
+          in
+          (* dst-major mirror: swap the label roles in the key *)
+          let tr_row_start, tr_cols, tr_cnts =
+            csr_of_entries
+              (gather (fun ~l1 ~typ ~l2 -> pack ~l1:l2 ~typ ~l2:l1 ~labels1))
+              ~nrows ~labels1
+          in
+          Rows { row_start; cols; cnts; tr_row_start; tr_cols; tr_cnts }
+        end
+        else begin
+          let entries = gather (pack ~labels1) in
+          Array.sort (fun (k1, _) (k2, _) -> Int.compare k1 k2) entries;
+          Packed
+            {
+              keys = Array.map fst entries;
+              counts = Array.map snd entries;
+            }
+        end
       end
     in
     t.frozen <-
@@ -321,6 +389,15 @@ let fz_get f ~l1 ~typ ~l2 =
     | Dense dense ->
         if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_lookup_dense;
         dense.(key)
+    | Rows { row_start; cols; cnts; _ } ->
+        if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_lookup_packed;
+        let row = (tyo * labels1) + l1o in
+        let lo = ref row_start.(row) and hi = ref row_start.(row + 1) in
+        while !hi - !lo > 0 do
+          let mid = (!lo + !hi) / 2 in
+          if cols.(mid) < l2o then lo := mid + 1 else hi := mid
+        done;
+        if !lo < row_start.(row + 1) && cols.(!lo) = l2o then cnts.(!lo) else 0
     | Packed { keys; counts } ->
         if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_lookup_packed;
         let lo = ref 0 and hi = ref (Array.length keys) in
@@ -435,6 +512,35 @@ let rc_row t ~dir ~node ~types ~row =
               (* same negative-type guard as rc_directed *)
               if ty >= 0 then add_ty (ty + 1))
             types
+      end
+  | Some ({ fz_layout = Rows rows; _ } as f) ->
+      if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_rc_row_rows;
+      Array.fill row 0 len 0;
+      let labels1 = f.fz_labels + 1 in
+      let no = wild node + 1 in
+      if no >= 0 && no <= f.fz_labels then begin
+        (* walk the occupied entries of row (tyo, no): cols hold the far
+           label (+1), so col 0 is the wildcard far side, which [generic]
+           never asks for; entries beyond [len] keep the bounds-miss 0 *)
+        let sweep row_start cols cnts tyo =
+          let r = (tyo * labels1) + no in
+          for j = row_start.(r) to row_start.(r + 1) - 1 do
+            let l' = cols.(j) - 1 in
+            if l' >= 0 && l' < len then row.(l') <- row.(l') + cnts.(j)
+          done
+        in
+        let add_ty tyo =
+          if tyo >= 0 && tyo <= f.fz_types then begin
+            (match (dir : Direction.t) with
+            | Out | Both -> sweep rows.row_start rows.cols rows.cnts tyo
+            | In -> ());
+            match (dir : Direction.t) with
+            | In | Both -> sweep rows.tr_row_start rows.tr_cols rows.tr_cnts tyo
+            | Out -> ()
+          end
+        in
+        if Array.length types = 0 then add_ty (star + 1)
+        else Array.iter (fun ty -> if ty >= 0 then add_ty (ty + 1)) types
       end
   | Some _ | None -> generic ()
 

@@ -124,10 +124,14 @@ val rc_row :
 (** {1 Frozen read path}
 
     [freeze] compiles the mutable triple/any-type hashtables into immutable
-    flat arrays — a dense [(T+1)·(L+1)²] counter matrix when the key space is
-    small, otherwise sorted int-packed keys with binary search — so {!rc} and
-    {!simple_rc} on the estimator hot path become branch-light array reads
-    instead of per-type hashtable probes. Freezing changes no observable
+    flat arrays, choosing the layout adaptively: a dense [(T+1)·(L+1)²]
+    counter matrix when the key space is small; a CSR-style row directory
+    (per-(type, near-label) slices of sorted far-label entries, with a
+    dst-major mirror for [In]-direction sweeps) when it is large but the
+    directory fits; and flat sorted int-packed keys with whole-table binary
+    search as the last resort — so {!rc} and {!simple_rc} on the estimator
+    hot path become branch-light array reads instead of per-type hashtable
+    probes. Freezing changes no observable
     count: every [nc]/[rc]/[simple_rc] result (including wildcard sides,
     out-of-range ids, and labels interned after the freeze) is identical to
     the unfrozen answer, and the [memory_bytes_*] accounting is precomputed at

@@ -24,4 +24,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,289 @@
+(* The serving layer (Lpp_serve): protocol parsing totality, wire round-trips
+   against an in-process server on a Unix socket, bit-identity of served
+   estimates against a direct Estimator session, graceful handling of
+   malformed and oversized input, and clean shutdown.
+
+   Each test starts its own server on a fresh temporary socket path and stops
+   it under Fun.protect, so a failing assertion cannot leak domains into the
+   rest of the binary. *)
+
+open Lpp_util
+
+module Serve = Lpp_serve.Server
+module Client = Lpp_serve.Client
+module Protocol = Lpp_serve.Protocol
+
+let next_sock = ref 0
+
+let temp_sock () =
+  incr next_sock;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "lpp-test-%d-%d.sock" (Unix.getpid ()) !next_sock)
+
+(* campus fixture + a fan-out of rel types exercised by the patterns below *)
+let campus_ds () =
+  let f = Fixtures.campus () in
+  (f.graph, Lpp_stats.Catalog.build f.graph)
+
+let patterns =
+  [
+    "(s:Student)-[:attends]->(c:Course)";
+    "(t:Tutor)-[:assistantOf]->(x:Teacher)";
+    "(a:Person)-[]->(b)";
+    "(a)-[:likes]->(b)-[:likes]->(a)";
+    "(s:Student)-[:attends]->(c:Seminar), (t:Teacher)-[:teaches]->(c)";
+  ]
+
+let with_server ?(config = Lpp_core.Config.a_lhd) ?(workers = 2) ?(batch = 4)
+    ?max_line f =
+  let graph, catalog = campus_ds () in
+  let addr = Serve.Unix_socket (temp_sock ()) in
+  let cfg =
+    let d = Serve.default_config addr in
+    {
+      d with
+      Serve.workers;
+      batch;
+      max_line = Option.value max_line ~default:d.Serve.max_line;
+      estimator = config;
+    }
+  in
+  let server = Serve.start cfg ~graph ~catalog in
+  Fun.protect ~finally:(fun () -> Serve.stop server)
+    (fun () -> f ~graph ~catalog ~addr ~server)
+
+let direct_estimates config graph catalog texts =
+  let session = Lpp_core.Estimator.make config catalog in
+  List.map
+    (fun text ->
+      match Lpp_pattern.Parse.parse graph text with
+      | Ok { pattern; _ } ->
+          Lpp_core.Estimator.session_estimate_pattern session pattern
+      | Error msg -> Alcotest.failf "fixture pattern %S: %s" text msg)
+    texts
+
+let check_bits what expected got =
+  Alcotest.(check int64) what
+    (Int64.bits_of_float expected)
+    (Int64.bits_of_float got)
+
+(* ---- protocol (pure) ------------------------------------------------- *)
+
+let test_protocol_parse () =
+  (match Protocol.request_of_line {|{"op":"estimate","pattern":"(a)","config":"S-L","id":7}|} with
+  | Ok (Protocol.Estimate { id = Some (Json.Int 7); pattern = "(a)"; config = Some "S-L" }) -> ()
+  | Ok _ -> Alcotest.fail "parsed into the wrong request"
+  | Error j -> Alcotest.failf "rejected valid request: %s" (Json.to_string j));
+  (match Protocol.request_of_line {|{"op":"ping"}|} with
+  | Ok (Protocol.Ping { id = None }) -> ()
+  | _ -> Alcotest.fail "ping did not parse");
+  (match Protocol.request_of_line {|{"op":"stats","id":"s1"}|} with
+  | Ok (Protocol.Stats { id = Some (Json.String "s1") }) -> ()
+  | _ -> Alcotest.fail "stats did not parse");
+  let expect_kind line kind =
+    match Protocol.request_of_line line with
+    | Ok _ -> Alcotest.failf "accepted %S" line
+    | Error j -> begin
+        Alcotest.(check bool) "ok:false" true
+          (Json.member "ok" j = Some (Json.Bool false));
+        match Option.bind (Json.member "error" j) (Json.member "kind") with
+        | Some (Json.String k) -> Alcotest.(check string) line kind k
+        | _ -> Alcotest.failf "%S: no error.kind" line
+      end
+  in
+  expect_kind "{broken" "bad_json";
+  expect_kind {|[1,2,3]|} "bad_request";
+  expect_kind {|{"op":"shrug"}|} "bad_request";
+  expect_kind {|{"op":"estimate"}|} "bad_request";
+  expect_kind {|{"op":"estimate","pattern":17}|} "bad_request";
+  (* the id survives into the error response when extractable *)
+  match Protocol.request_of_line {|{"op":"shrug","id":42}|} with
+  | Error j -> Alcotest.(check bool) "id preserved" true
+      (Json.member "id" j = Some (Json.Int 42))
+  | Ok _ -> Alcotest.fail "accepted unknown op"
+
+(* any line yields either a valid request or a complete ok:false response —
+   the parser never raises and never returns something half-formed *)
+let prop_protocol_total =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          string_size ~gen:printable (int_bound 60);
+          map
+            (fun p -> Printf.sprintf {|{"op":"estimate","pattern":%S}|} p)
+            (string_size ~gen:printable (int_bound 20));
+          map
+            (fun op -> Printf.sprintf {|{"op":%S,"id":3}|} op)
+            (oneofl [ "estimate"; "ping"; "stats"; "bogus"; "" ]);
+          oneofl
+            [ {|{"op":"ping"|}; "null"; "17"; ""; "   "; {|{"id":[1,{}]}|} ];
+        ])
+  in
+  QCheck.Test.make ~count:500
+    ~name:"any line parses to a request or an ok:false response"
+    (QCheck.make ~print:String.escaped gen)
+    (fun line ->
+      match Protocol.request_of_line line with
+      | Ok _ -> true
+      | Error j -> Json.member "ok" j = Some (Json.Bool false))
+
+(* ---- wire round-trips ------------------------------------------------ *)
+
+let test_roundtrip_bit_identical () =
+  with_server @@ fun ~graph ~catalog ~addr ~server:_ ->
+  let expected = direct_estimates Lpp_core.Config.a_lhd graph catalog patterns in
+  let expected_sl = direct_estimates Lpp_core.Config.s_l graph catalog patterns in
+  let client = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  List.iter2
+    (fun text expect ->
+      match Client.estimate client text with
+      | Ok est -> check_bits text expect est
+      | Error msg -> Alcotest.failf "%s: %s" text msg)
+    patterns expected;
+  (* per-request config override is honored *)
+  List.iter2
+    (fun text expect ->
+      match Client.estimate client ~config:"S-L" text with
+      | Ok est -> check_bits (text ^ " [S-L]") expect est
+      | Error msg -> Alcotest.failf "%s [S-L]: %s" text msg)
+    patterns expected_sl;
+  (* ping, stats, and id round-trip *)
+  let pong = Client.request client {|{"op":"ping","id":[1,2]}|} in
+  Alcotest.(check bool) "pong" true
+    (Json.member "pong" pong = Some (Json.Bool true));
+  Alcotest.(check bool) "ping id" true
+    (Json.member "id" pong = Some (Json.List [ Json.Int 1; Json.Int 2 ]));
+  match Json.member "stats" (Client.request client {|{"op":"stats"}|}) with
+  | Some (Json.Obj _ as stats) -> begin
+      match Json.member "served" stats with
+      | Some (Json.Int n) ->
+          Alcotest.(check bool) "served counts the estimates" true
+            (n >= 2 * List.length patterns)
+      | _ -> Alcotest.fail "stats.served missing"
+    end
+  | _ -> Alcotest.fail "stats did not return an object"
+
+let test_concurrent_clients () =
+  with_server @@ fun ~graph ~catalog ~addr ~server:_ ->
+  (* all parsing of the expectation happens before the client domains run,
+     so the only concurrent parsers are the server's own workers *)
+  let expected =
+    Array.of_list (direct_estimates Lpp_core.Config.a_lhd graph catalog patterns)
+  in
+  let texts = Array.of_list patterns in
+  let rounds = 25 in
+  let client_run () =
+    let client = Client.connect addr in
+    Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+    Array.init (rounds * Array.length texts) (fun i ->
+        match Client.estimate client texts.(i mod Array.length texts) with
+        | Ok est -> est
+        | Error msg -> Alcotest.failf "concurrent estimate failed: %s" msg)
+  in
+  let domains = List.init 3 (fun _ -> Domain.spawn client_run) in
+  let results = List.map Domain.join domains in
+  List.iter
+    (fun ests ->
+      Array.iteri
+        (fun i est ->
+          check_bits
+            (Printf.sprintf "request %d" i)
+            expected.(i mod Array.length texts)
+            est)
+        ests)
+    results
+
+let test_malformed_and_oversized () =
+  with_server ~max_line:128 @@ fun ~graph:_ ~catalog:_ ~addr ~server:_ ->
+  let client = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  let kind_of resp =
+    match Option.bind (Json.member "error" resp) (Json.member "kind") with
+    | Some (Json.String k) -> k
+    | _ -> "?"
+  in
+  let expect_error line kind =
+    let resp = Client.request client line in
+    Alcotest.(check bool) (line ^ " ok:false") true
+      (Json.member "ok" resp = Some (Json.Bool false));
+    Alcotest.(check string) line kind (kind_of resp)
+  in
+  expect_error "{not json" "bad_json";
+  expect_error {|{"op":"warmup"}|} "bad_request";
+  expect_error {|{"op":"estimate","pattern":"(a:"}|} "parse_error";
+  expect_error {|{"op":"estimate","pattern":"(a)","config":"Z-9"}|}
+    "unknown_config";
+  (* an oversized line earns exactly one rejected response *)
+  let big =
+    Printf.sprintf {|{"op":"estimate","pattern":"(a:%s)"}|}
+      (String.make 200 'x')
+  in
+  let resp = Client.request client big in
+  Alcotest.(check bool) "oversized rejected" true
+    (Json.member "rejected" resp = Some (Json.Bool true));
+  (match Json.member "reason" resp with
+  | Some (Json.String r) -> Alcotest.(check string) "reason" "oversized" r
+  | _ -> Alcotest.fail "rejection carried no reason");
+  (* the connection survives and the next request is served normally *)
+  match Client.estimate client "(a:Person)-[]->(b)" with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "connection did not recover: %s" msg
+
+(* deterministic garbage at the wire level: every non-blank line gets exactly
+   one JSON response carrying an "ok" member, in order *)
+let test_garbage_lines_answered () =
+  with_server @@ fun ~graph:_ ~catalog:_ ~addr ~server:_ ->
+  let client = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  let rng = Rng.create 2024 in
+  for i = 1 to 60 do
+    let len = 1 + Rng.int rng 40 in
+    let line =
+      String.init len (fun _ ->
+          (* printable, no newline; Client.send_line frames by newline *)
+          Char.chr (33 + Rng.int rng 94))
+    in
+    let resp = Client.request client line in
+    match Json.member "ok" resp with
+    | Some (Json.Bool _) -> ()
+    | _ ->
+        Alcotest.failf "garbage line %d (%S) got a response without ok" i line
+  done
+
+let test_clean_shutdown () =
+  let graph, catalog = campus_ds () in
+  let path = temp_sock () in
+  let addr = Serve.Unix_socket path in
+  let cfg = { (Serve.default_config addr) with Serve.workers = 2; batch = 4 } in
+  let server = Serve.start cfg ~graph ~catalog in
+  Alcotest.(check bool) "socket exists while serving" true (Sys.file_exists path);
+  let client = Client.connect addr in
+  (match Client.estimate client "(a:Person)-[]->(b)" with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "pre-shutdown estimate failed: %s" msg);
+  Serve.stop server;
+  Alcotest.(check bool) "socket file removed" true (not (Sys.file_exists path));
+  Alcotest.(check bool) "connection got EOF" true (Client.recv_line client = None);
+  Client.close client;
+  (match Client.connect addr with
+  | _ -> Alcotest.fail "connect succeeded after stop"
+  | exception Unix.Unix_error _ -> ());
+  (* stop is idempotent *)
+  Serve.stop server
+
+let suite =
+  [
+    Alcotest.test_case "protocol: request parsing" `Quick test_protocol_parse;
+    QCheck_alcotest.to_alcotest prop_protocol_total;
+    Alcotest.test_case "wire: round-trip bit-identical" `Quick
+      test_roundtrip_bit_identical;
+    Alcotest.test_case "wire: concurrent clients bit-identical" `Quick
+      test_concurrent_clients;
+    Alcotest.test_case "wire: malformed and oversized input" `Quick
+      test_malformed_and_oversized;
+    Alcotest.test_case "wire: garbage lines all answered" `Quick
+      test_garbage_lines_answered;
+    Alcotest.test_case "lifecycle: clean shutdown" `Quick test_clean_shutdown;
+  ]
