@@ -638,4 +638,7 @@ let all : (string * string * (Env.t -> unit)) list =
     ( "serve",
       "lpp serve load test: closed-loop + controlled-QPS latency/throughput",
       Serve_bench.run );
+    ( "scale",
+      "scale tier: streaming build, Bigarray freeze, sampled-truth q-errors",
+      Scale_bench.run );
   ]

@@ -8,28 +8,19 @@
 
 open Cmdliner
 
-let dataset_of_name ?(smoke = false) name ~seed =
-  match String.lowercase_ascii name with
-  | "snb" ->
-      Lpp_datasets.Snb_gen.generate ~persons:(if smoke then 120 else 500) ~seed ()
-  | "cineasts" ->
-      Lpp_datasets.Cineasts_gen.generate ~movies:(if smoke then 250 else 1200)
-        ~seed ()
-  | "dbpedia" ->
-      if smoke then
-        Lpp_datasets.Dbpedia_gen.generate ~entities:2000 ~classes:40
-          ~rel_kinds:25 ~seed ()
-      else Lpp_datasets.Dbpedia_gen.generate ~entities:10_000 ~seed ()
-  | path when Sys.file_exists path -> begin
+let dataset_of_name ?(scale = Lpp_datasets.Scale.Default) name ~seed =
+  match Lpp_datasets.Scale.build scale ~name ~seed with
+  | Some ds -> ds
+  | None when Sys.file_exists name -> begin
       (* a saved graph file (see `lpp export` / Lpp_pgraph.Graph_io) *)
-      match Lpp_pgraph.Graph_io.load path with
-      | Ok graph -> Lpp_datasets.Dataset.make ~name:(Filename.basename path) graph
-      | Error msg -> failwith (Printf.sprintf "cannot load %s: %s" path msg)
+      match Lpp_pgraph.Graph_io.load name with
+      | Ok graph -> Lpp_datasets.Dataset.make ~name:(Filename.basename name) graph
+      | Error msg -> failwith (Printf.sprintf "cannot load %s: %s" name msg)
     end
-  | other ->
+  | None ->
       failwith
         (Printf.sprintf "unknown dataset %S (snb|cineasts|dbpedia or a saved graph file)"
-           other)
+           name)
 
 let dataset_arg =
   Arg.(value & opt string "snb"
@@ -38,6 +29,22 @@ let dataset_arg =
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed")
+
+let scale_arg =
+  Arg.(value & opt (some string) None
+       & info [ "scale" ] ~docv:"TIER"
+           ~doc:"Data set size tier: smoke (sub-second), default, or large \
+                 (≥10⁷ relationships, no properties, sampled ground truth)")
+
+(* [--scale] wins; the legacy [--smoke] flag maps to the smoke tier. *)
+let resolve_scale ?(smoke = false) scale_name =
+  match scale_name with
+  | Some s -> begin
+      match Lpp_datasets.Scale.of_name s with
+      | Ok t -> t
+      | Error msg -> failwith msg
+    end
+  | None -> if smoke then Lpp_datasets.Scale.Smoke else Lpp_datasets.Scale.Default
 
 let queries_arg =
   Arg.(value & opt int 20 & info [ "queries"; "n" ] ~docv:"N" ~doc:"Queries to generate")
@@ -64,39 +71,67 @@ let metrics_out_arg =
        & info [ "metrics" ] ~docv:"FILE"
            ~doc:"Record counters/histograms and write them as JSON")
 
-let gen_workload ds ~seed ~n ~props =
+let gen_workload ?(scale = Lpp_datasets.Scale.Default) ds ~seed ~n ~props =
   let flavour =
     if props then Lpp_workload.Query_gen.With_props
     else Lpp_workload.Query_gen.No_props
   in
+  let ground_truth =
+    if Lpp_datasets.Scale.sampled_truth scale then
+      Lpp_workload.Query_gen.Sampled_wj { walks = 2000 }
+    else Lpp_workload.Query_gen.Exact_matching
+  in
   let spec =
     { (Lpp_workload.Query_gen.default_spec flavour) with
-      target = n; attempts = 6 * n; truth_budget = 10_000_000 }
+      target = n; attempts = 6 * n; truth_budget = 10_000_000; ground_truth }
   in
   Lpp_workload.Query_gen.generate (Lpp_util.Rng.create (seed + 1000)) ds spec
+
+let bytes_cell b =
+  if b >= 1 lsl 20 then
+    Printf.sprintf "%d (%.1f MiB)" b (float_of_int b /. 1048576.0)
+  else string_of_int b
+
+(* Per-component resident bytes of the packed graph and the (ideally frozen)
+   catalog, as measured by Mem_size / Bigarray.Array1.size_in_bytes. *)
+let print_memory_table (ds : Lpp_datasets.Dataset.t) =
+  let t = Lpp_util.Ascii_table.create [ "component"; "bytes" ] in
+  let rows =
+    Lpp_pgraph.Graph.memory_breakdown ds.graph
+    @ Lpp_stats.Catalog.memory_breakdown ds.catalog
+  in
+  List.iter (fun (k, v) -> Lpp_util.Ascii_table.add_row t [ k; bytes_cell v ]) rows;
+  Lpp_util.Ascii_table.add_row t
+    [ "total"; bytes_cell (List.fold_left (fun a (_, v) -> a + v) 0 rows) ];
+  Lpp_util.Ascii_table.print ~title:"Memory" t
 
 (* ---- datasets ------------------------------------------------------- *)
 
 let cmd_datasets =
-  let run seed =
+  let run seed scale_name =
+    let scale = resolve_scale scale_name in
     let t = Lpp_util.Ascii_table.create Lpp_datasets.Dataset.summary_headers in
     List.iter
       (fun name ->
         Lpp_util.Ascii_table.add_row t
-          (Lpp_datasets.Dataset.summary_row (dataset_of_name name ~seed)))
+          (Lpp_datasets.Dataset.summary_row (dataset_of_name name ~seed ~scale)))
       [ "snb"; "cineasts"; "dbpedia" ];
-    Lpp_util.Ascii_table.print ~title:"Generated data sets" t
+    Lpp_util.Ascii_table.print
+      ~title:(Printf.sprintf "Generated data sets (%s tier)"
+                (Lpp_datasets.Scale.to_string scale))
+      t
   in
   Cmd.v (Cmd.info "datasets" ~doc:"Summarise the three synthetic data sets")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ scale_arg)
 
 (* ---- workload ------------------------------------------------------- *)
 
 let cmd_workload =
-  let run jobs name seed n props =
+  let run jobs name seed n props scale_name =
     set_jobs jobs;
-    let ds = dataset_of_name name ~seed in
-    let qs = gen_workload ds ~seed ~n ~props in
+    let scale = resolve_scale scale_name in
+    let ds = dataset_of_name name ~seed ~scale in
+    let qs = gen_workload ds ~seed ~n ~props ~scale in
     let t = Lpp_util.Ascii_table.create [ "id"; "shape"; "size"; "truth"; "pattern" ] in
     List.iter
       (fun (q : Lpp_workload.Query_gen.query) ->
@@ -104,7 +139,9 @@ let cmd_workload =
           [ string_of_int q.id;
             Lpp_pattern.Shape.to_string q.shape;
             string_of_int q.size;
-            string_of_int q.true_card;
+            (match Lpp_workload.Query_gen.truth_ci_width q with
+            | None -> string_of_int q.true_card
+            | Some w -> Printf.sprintf "%d ±%.0f" q.true_card (w /. 2.0));
             Format.asprintf "%a" (Lpp_pattern.Pattern.pp ~names:(Some ds.graph))
               q.pattern ])
       qs;
@@ -114,16 +151,18 @@ let cmd_workload =
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Generate an anchored query workload with ground truth")
-    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg $ props_arg)
+    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg
+          $ props_arg $ scale_arg)
 
 (* ---- estimate ------------------------------------------------------- *)
 
 let cmd_estimate =
-  let run jobs name seed n props trace_out metrics_out =
+  let run jobs name seed n props scale_name trace_out metrics_out =
     set_jobs jobs;
+    let scale = resolve_scale scale_name in
     Cli_common.with_obs ?trace_out ?metrics_out @@ fun () ->
-    let ds = dataset_of_name name ~seed in
-    let qs = gen_workload ds ~seed ~n ~props in
+    let ds = dataset_of_name name ~seed ~scale in
+    let qs = gen_workload ds ~seed ~n ~props ~scale in
     Lpp_stats.Catalog.freeze ds.catalog;
     let techs = Lpp_harness.Technique.our_configurations ds in
     let t =
@@ -151,21 +190,23 @@ let cmd_estimate =
         Lpp_util.Ascii_table.add_row t2
           [ x.name; Lpp_harness.Report.qerr_cell (Lpp_harness.Runner.q_errors ms) ])
       techs;
-    Lpp_util.Ascii_table.print ~title:"Accuracy summary" t2
+    Lpp_util.Ascii_table.print ~title:"Accuracy summary" t2;
+    print_memory_table ds
   in
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Estimate a generated workload with every configuration of our technique")
     Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg
-          $ props_arg $ trace_out_arg $ metrics_out_arg)
+          $ props_arg $ scale_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ---- plan ----------------------------------------------------------- *)
 
 let cmd_plan =
-  let run jobs name seed n props =
+  let run jobs name seed n props scale_name =
     set_jobs jobs;
-    let ds = dataset_of_name name ~seed in
-    let qs = gen_workload ds ~seed ~n ~props in
+    let scale = resolve_scale scale_name in
+    let ds = dataset_of_name name ~seed ~scale in
+    let qs = gen_workload ds ~seed ~n ~props ~scale in
     List.iter
       (fun (q : Lpp_workload.Query_gen.query) ->
         Printf.printf "\n-- query %d (%s, truth %d)\n   %s\n" q.id
@@ -185,13 +226,15 @@ let cmd_plan =
   Cmd.v
     (Cmd.info "plan"
        ~doc:"Show operator sequences and per-operator cardinality traces")
-    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg $ props_arg)
+    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg
+          $ props_arg $ scale_arg)
 
 (* ---- export --------------------------------------------------------- *)
 
 let cmd_export =
-  let run name seed out =
-    let ds = dataset_of_name name ~seed in
+  let run name seed scale_name out =
+    let scale = resolve_scale scale_name in
+    let ds = dataset_of_name name ~seed ~scale in
     Lpp_pgraph.Graph_io.save ds.graph out;
     Printf.printf "wrote %s (%d nodes, %d relationships) to %s\n" ds.name
       (Lpp_pgraph.Graph.node_count ds.graph)
@@ -204,15 +247,16 @@ let cmd_export =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Serialise a generated data set to a graph file")
-    Term.(const run $ dataset_arg $ seed_arg $ out)
+    Term.(const run $ dataset_arg $ seed_arg $ scale_arg $ out)
 
 (* ---- query ---------------------------------------------------------- *)
 
 let cmd_query =
-  let run jobs name seed trace_out metrics_out queries =
+  let run jobs name seed scale_name trace_out metrics_out queries =
     set_jobs jobs;
+    let scale = resolve_scale scale_name in
     Cli_common.with_obs ?trace_out ?metrics_out @@ fun () ->
-    let ds = dataset_of_name name ~seed in
+    let ds = dataset_of_name name ~seed ~scale in
     Lpp_stats.Catalog.freeze ds.catalog;
     let sessions =
       List.map
@@ -251,8 +295,8 @@ let cmd_query =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Parse openCypher-style patterns, estimate and count them")
-    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ trace_out_arg
-          $ metrics_out_arg $ queries)
+    Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ scale_arg
+          $ trace_out_arg $ metrics_out_arg $ queries)
 
 (* ---- lint ----------------------------------------------------------- *)
 
@@ -283,10 +327,11 @@ let patterns_arg =
        ~doc:"openCypher-style patterns; none = use a generated workload")
 
 let cmd_lint =
-  let run jobs name seed n props smoke json config_name file patterns =
+  let run jobs name seed n props smoke scale_name json config_name file patterns =
     set_jobs jobs;
     let config = config_of_name config_name in
-    let ds = dataset_of_name name ~seed ~smoke in
+    let scale = resolve_scale ~smoke scale_name in
+    let ds = dataset_of_name name ~seed ~scale in
     Lpp_stats.Catalog.freeze ds.catalog;
     let catalog_diags = Lpp_analysis.Catalog_check.run ds.catalog in
     let texts_and_algs =
@@ -385,15 +430,17 @@ let cmd_lint =
                patterns — or over a generated workload — and exits non-zero \
                if any error-severity diagnostic is found." ])
     Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg
-          $ props_arg $ smoke_arg $ json $ config_arg $ file_arg $ patterns_arg)
+          $ props_arg $ smoke_arg $ scale_arg $ json $ config_arg $ file_arg
+          $ patterns_arg)
 
 (* ---- trace ---------------------------------------------------------- *)
 
 let cmd_trace =
-  let run jobs name seed n props smoke config_name file out metrics count
-      patterns =
+  let run jobs name seed n props smoke scale_name config_name file out metrics
+      count patterns =
     set_jobs jobs;
     let config = config_of_name config_name in
+    let scale = resolve_scale ~smoke scale_name in
     (* Enable before the data set is built so catalog build phases, freezing
        and the pool's per-task spans all land in the trace. *)
     Lpp_obs.Obs.enable ();
@@ -401,7 +448,7 @@ let cmd_trace =
     Fun.protect
       ~finally:(fun () -> Lpp_obs.Obs.disable ())
       (fun () ->
-        let ds = dataset_of_name name ~seed ~smoke in
+        let ds = dataset_of_name name ~seed ~scale in
         Lpp_stats.Catalog.freeze ds.catalog;
         let loaded =
           Cli_common.load_patterns ds ~file ~patterns ~fallback:(fun () ->
@@ -465,17 +512,18 @@ let cmd_trace =
                aggregate text report. Exits non-zero if any pattern fails to \
                parse, mirroring $(b,lpp lint)." ])
     Term.(const run $ jobs_arg $ dataset_arg $ seed_arg $ queries_arg
-          $ props_arg $ smoke_arg $ config_arg $ file_arg $ out
+          $ props_arg $ smoke_arg $ scale_arg $ config_arg $ file_arg $ out
           $ metrics_out_arg $ count $ patterns_arg)
 
 (* ---- serve ---------------------------------------------------------- *)
 
 let cmd_serve =
-  let run name seed smoke config_name socket port host workers batch max_line
-      max_pending check file n props trace_out metrics_out patterns =
+  let run name seed smoke scale_name config_name socket port host workers batch
+      max_line max_pending check file n props trace_out metrics_out patterns =
     let config = config_of_name config_name in
+    let scale = resolve_scale ~smoke scale_name in
     Cli_common.with_obs ?trace_out ?metrics_out @@ fun () ->
-    let ds = dataset_of_name name ~seed ~smoke in
+    let ds = dataset_of_name name ~seed ~scale in
     let addr =
       match port with
       | Some p -> Lpp_serve.Server.Tcp (host, p)
@@ -632,10 +680,45 @@ let cmd_serve =
                drain queued requests before exiting.";
            `P "Try: echo '{\"op\": \"estimate\", \"pattern\": \
                \"(a:Person)-[:KNOWS]->(b)\"}' | nc -U /tmp/lpp-serve.sock" ])
-    Term.(const run $ dataset_arg $ seed_arg $ smoke_arg $ config_arg $ socket
-          $ port $ host $ workers $ batch $ max_line $ max_pending $ check
-          $ file_arg $ queries_arg $ props_arg $ trace_out_arg
-          $ metrics_out_arg $ patterns_arg)
+    Term.(const run $ dataset_arg $ seed_arg $ smoke_arg $ scale_arg
+          $ config_arg $ socket $ port $ host $ workers $ batch $ max_line
+          $ max_pending $ check $ file_arg $ queries_arg $ props_arg
+          $ trace_out_arg $ metrics_out_arg $ patterns_arg)
+
+(* ---- stats ---------------------------------------------------------- *)
+
+let cmd_stats =
+  let run name seed smoke scale_name =
+    let scale = resolve_scale ~smoke scale_name in
+    let t0 = Lpp_util.Clock.now_ns () in
+    let ds = dataset_of_name name ~seed ~scale in
+    let build_s = Lpp_util.Clock.elapsed_s ~since:t0 in
+    let t1 = Lpp_util.Clock.now_ns () in
+    Lpp_stats.Catalog.freeze ds.catalog;
+    let freeze_s = Lpp_util.Clock.elapsed_s ~since:t1 in
+    let t = Lpp_util.Ascii_table.create Lpp_datasets.Dataset.summary_headers in
+    Lpp_util.Ascii_table.add_row t (Lpp_datasets.Dataset.summary_row ds);
+    Lpp_util.Ascii_table.print
+      ~title:(Printf.sprintf "%s (%s tier)" ds.name
+                (Lpp_datasets.Scale.to_string scale))
+      t;
+    print_memory_table ds;
+    Printf.printf "build %.2fs (%.0f rels/s), catalog+freeze %.2fs\n" build_s
+      (float_of_int (Lpp_pgraph.Graph.rel_count ds.graph) /. Float.max build_s 1e-9)
+      freeze_s
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Build one data set, freeze its catalog and report sizes and memory"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Builds the data set at the requested $(b,--scale) tier, freezes \
+               the statistics catalog into its packed Bigarray layout and \
+               prints the Table-1 summary plus per-component resident bytes \
+               (CSR adjacency, relationship columns, NC/RC catalog arrays). \
+               Use $(b,--scale large) to exercise the ≥10⁷-relationship \
+               tier." ])
+    Term.(const run $ dataset_arg $ seed_arg $ smoke_arg $ scale_arg)
 
 let () =
   let info =
@@ -646,4 +729,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ cmd_datasets; cmd_workload; cmd_estimate; cmd_plan; cmd_query;
-            cmd_export; cmd_lint; cmd_trace; cmd_serve ]))
+            cmd_export; cmd_lint; cmd_trace; cmd_serve; cmd_stats ]))

@@ -112,27 +112,38 @@ let one_walk rng t (p : Pattern.t) steps =
         else begin
           let u = node_of.(if from_src then rp.r_src else rp.r_dst) in
           let w_pat = if from_src then rp.r_dst else rp.r_src in
-          let incident = if from_src then Graph.out_rels g u else Graph.in_rels g u in
-          let candidates =
-            Array.to_list incident
-            |> List.filter (fun r ->
-                   Graph.rel_type g r = typ && not (rel_used r))
+          let iter_incident f =
+            if from_src then Graph.iter_out_rels g u f
+            else Graph.iter_in_rels g u f
           in
-          match candidates with
-          | [] -> ok := false
-          | _ ->
-              let r = Lpp_util.Rng.pick_list rng candidates in
-              weight := !weight *. float_of_int (List.length candidates);
-              let other = if from_src then Graph.rel_dst g r else Graph.rel_src g r in
-              if closes then begin
-                if node_of.(w_pat) = other then rel_of.(prel) <- r
-                else ok := false
-              end
-              else if node_ok g p.nodes.(w_pat) other then begin
-                rel_of.(prel) <- r;
-                node_of.(w_pat) <- other
-              end
+          (* two passes over the CSR slice instead of a filtered list: count
+             the qualifying candidates, draw once (same single [Rng.int] a
+             [pick_list] would make), then scan to the drawn index *)
+          let n_cand = ref 0 in
+          iter_incident (fun r ->
+              if Graph.rel_type g r = typ && not (rel_used r) then incr n_cand);
+          if !n_cand = 0 then ok := false
+          else begin
+            let k = Lpp_util.Rng.int rng !n_cand in
+            let seen = ref 0 and picked = ref (-1) in
+            iter_incident (fun r ->
+                if Graph.rel_type g r = typ && not (rel_used r) then begin
+                  if !seen = k then picked := r;
+                  incr seen
+                end);
+            let r = !picked in
+            weight := !weight *. float_of_int !n_cand;
+            let other = if from_src then Graph.rel_dst g r else Graph.rel_src g r in
+            if closes then begin
+              if node_of.(w_pat) = other then rel_of.(prel) <- r
               else ok := false
+            end
+            else if node_ok g p.nodes.(w_pat) other then begin
+              rel_of.(prel) <- r;
+              node_of.(w_pat) <- other
+            end
+            else ok := false
+          end
         end
       end)
     steps;
@@ -148,6 +159,45 @@ let estimate ~rng t config (p : Pattern.t) =
       sum := !sum +. one_walk rng t p steps
     done;
     !sum /. float_of_int n
+  end
+
+type interval = {
+  mean : float;
+  stderr : float;
+  ci_low : float;
+  ci_high : float;
+  n_walks : int;
+}
+
+(* Sampled ground truth for the large tier: each walk is an unbiased
+   Horvitz–Thompson draw of the cardinality, so the running mean converges to
+   the true count and Welford's recurrence gives its variance without storing
+   the samples. The CI is the CLT 95% band, clamped at 0 (counts cannot be
+   negative). *)
+let estimate_interval ~rng t ~walks:n (p : Pattern.t) =
+  if not (supports p) || n <= 0 then None
+  else begin
+    let steps = walk_order p in
+    let mean = ref 0.0 and m2 = ref 0.0 in
+    for i = 1 to n do
+      let x = one_walk rng t p steps in
+      let delta = x -. !mean in
+      mean := !mean +. (delta /. float_of_int i);
+      m2 := !m2 +. (delta *. (x -. !mean))
+    done;
+    let stderr =
+      if n < 2 then 0.0
+      else sqrt (!m2 /. float_of_int (n - 1) /. float_of_int n)
+    in
+    let half = 1.96 *. stderr in
+    Some
+      {
+        mean = !mean;
+        stderr;
+        ci_low = Float.max 0.0 (!mean -. half);
+        ci_high = !mean +. half;
+        n_walks = n;
+      }
   end
 
 (* The rel-id pools double as the database's type-partitioned relationship

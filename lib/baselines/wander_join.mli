@@ -30,5 +30,29 @@ val estimate :
 
 val supports : Lpp_pattern.Pattern.t -> bool
 
+(** {1 Sampled ground truth}
+
+    At the large dataset tier exact matching is infeasible, so ground truth
+    is the Wander-Join mean with a confidence interval instead of
+    [Reference.count]. *)
+
+type interval = {
+  mean : float;  (** unbiased estimate of the true cardinality *)
+  stderr : float;  (** standard error of the mean *)
+  ci_low : float;  (** 95% CI lower bound, clamped at 0 *)
+  ci_high : float;
+  n_walks : int;
+}
+
+val estimate_interval :
+  rng:Lpp_util.Rng.t ->
+  t ->
+  walks:int ->
+  Lpp_pattern.Pattern.t ->
+  interval option
+(** Mean, standard error and CLT 95% confidence interval over [walks] walks
+    (Welford's online recurrence — no per-walk storage). [None] if the
+    pattern is outside the supported fragment or [walks <= 0]. *)
+
 val memory_bytes : t -> int
 (** Size of the per-type relationship index. *)

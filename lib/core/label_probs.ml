@@ -1,16 +1,29 @@
 (* Var-major flat matrix: row [var] holds the per-label probabilities of that
    variable, [live] flags which rows are bound. No per-variable allocation on
    the estimator hot path — [reset] rebinds nothing and keeps the buffers, so
-   a session reuses one matrix across estimates. *)
+   a session reuses one matrix across estimates.
+
+   The matrix is a float64 Bigarray rather than a [float array]: identical
+   unboxed element reads/writes (a flat float array is already unboxed), but
+   the buffer lives off the OCaml heap so big sessions over wide label
+   vocabularies add nothing to GC scan work. *)
+
+type matrix = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   labels : int;
-  mutable data : float array;  (* rows × labels, row-major *)
+  mutable data : matrix;  (* rows × labels, row-major *)
   mutable live : bool array;
 }
 
+let make_matrix n : matrix =
+  let a = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout n in
+  Bigarray.Array1.fill a 0.0;
+  a
+
 let create ?(vars = 8) ~labels () =
   let vars = max vars 1 in
-  { labels; data = Array.make (vars * labels) 0.0; live = Array.make vars false }
+  { labels; data = make_matrix (vars * labels); live = Array.make vars false }
 
 let label_count t = t.labels
 
@@ -19,8 +32,9 @@ let rows t = Array.length t.live
 let ensure_row t var =
   if var >= rows t then begin
     let fresh_rows = max (var + 1) (2 * rows t) in
-    let data = Array.make (fresh_rows * t.labels) 0.0 in
-    Array.blit t.data 0 data 0 (Array.length t.data);
+    let data = make_matrix (fresh_rows * t.labels) in
+    let n = Bigarray.Array1.dim t.data in
+    Bigarray.Array1.blit t.data (Bigarray.Array1.sub data 0 n);
     let live = Array.make fresh_rows false in
     Array.blit t.live 0 live 0 (Array.length t.live);
     t.data <- data;
@@ -37,7 +51,7 @@ let introduce t ~var ~init =
   t.live.(var) <- true;
   let base = var * t.labels in
   for l = 0 to t.labels - 1 do
-    t.data.(base + l) <- clamp (init l)
+    t.data.{base + l} <- clamp (init l)
   done
 
 let drop t ~var = if var < rows t then t.live.(var) <- false
@@ -49,17 +63,17 @@ let check_live t var =
 
 let get t ~var ~label =
   check_live t var;
-  t.data.((var * t.labels) + label)
+  t.data.{(var * t.labels) + label}
 
 let set t ~var ~label p =
   check_live t var;
-  t.data.((var * t.labels) + label) <- clamp p
+  t.data.{(var * t.labels) + label} <- clamp p
 
 let update_all t ~var ~f =
   check_live t var;
   let base = var * t.labels in
   for l = 0 to t.labels - 1 do
-    t.data.(base + l) <- clamp (f l t.data.(base + l))
+    t.data.{base + l} <- clamp (f l t.data.{base + l})
   done
 
 let positive_labels t ~var ~buf =
@@ -69,7 +83,7 @@ let positive_labels t ~var ~buf =
   let base = var * t.labels in
   let n = ref 0 in
   for l = 0 to t.labels - 1 do
-    if t.data.(base + l) > 0.0 then begin
+    if t.data.{base + l} > 0.0 then begin
       buf.(!n) <- l;
       incr n
     end

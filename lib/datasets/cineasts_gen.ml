@@ -14,65 +14,96 @@ let str s = Value.Str s
 
 let int i = Value.Int i
 
-let generate ?(movies = 2200) ~seed () =
+let generate ?(movies = 2200) ?(props = true) ~seed () =
   let rng = Rng.create seed in
   let b = Graph_builder.create () in
+  (* Whether to attach properties (off at the Large tier). All RNG draws
+     happen either way, so the relationship structure is identical. *)
+  let with_props = props in
   let n_people = movies * 2 in
   (* Professions overlap: some people act, some direct, some do both; a
-     disjoint group are platform users who only rate and befriend. *)
-  let people =
+     disjoint group are platform users who only rate and befriend. The
+     profession flags live in flat bool arrays (not a per-person tuple list)
+     so peak memory stays proportional to the packed graph. *)
+  let person_acts = Array.make n_people false in
+  let person_directs = Array.make n_people false in
+  let person_user = Array.make n_people false in
+  let person_ids =
     Array.init n_people (fun i ->
         let acts = Rng.coin rng 0.62 in
         let directs = Rng.coin rng (if acts then 0.06 else 0.22) in
         let is_user = (not acts) && (not directs) || Rng.coin rng 0.08 in
+        person_acts.(i) <- acts;
+        person_directs.(i) <- directs;
+        person_user.(i) <- is_user;
         let labels =
           [ "Person" ]
           @ (if acts then [ "Actor" ] else [])
           @ (if directs then [ "Director" ] else [])
           @ if is_user then [ "User" ] else []
         in
-        let props =
-          [ ("name", str (Printf.sprintf "Person%d" i));
-            ("birthyear", int (1930 + Rng.int rng 75)) ]
+        let birthyear = 1930 + Rng.int rng 75 in
+        let birthplace =
+          if Rng.coin rng 0.7 then Some (Rng.pick rng countries) else None
         in
         let props =
-          if is_user then
-            ("login", str (Printf.sprintf "user%d" i)) :: props
-          else props
+          if not with_props then []
+          else begin
+            let props =
+              [ ("name", str (Printf.sprintf "Person%d" i));
+                ("birthyear", int birthyear) ]
+            in
+            let props =
+              if is_user then
+                ("login", str (Printf.sprintf "user%d" i)) :: props
+              else props
+            in
+            match birthplace with
+            | Some c -> ("birthplace", str c) :: props
+            | None -> props
+          end
         in
-        let props =
-          if Rng.coin rng 0.7 then
-            ("birthplace", str (Rng.pick rng countries)) :: props
-          else props
-        in
-        (Graph_builder.add_node b ~labels ~props, acts, directs, is_user))
-    |> Array.to_list
+        Graph_builder.add_node b ~labels ~props)
   in
-  let actors =
-    List.filter_map (fun (nd, a, _, _) -> if a then Some nd else None) people
-    |> Array.of_list
+  let selected flags =
+    let n = Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 flags in
+    let out = Array.make (max n 1) 0 in
+    let j = ref 0 in
+    Array.iteri
+      (fun i f ->
+        if f then begin
+          out.(!j) <- person_ids.(i);
+          incr j
+        end)
+      flags;
+    Array.sub out 0 n
   in
-  let directors =
-    List.filter_map (fun (nd, _, d, _) -> if d then Some nd else None) people
-    |> Array.of_list
-  in
-  let users =
-    List.filter_map (fun (nd, _, _, u) -> if u then Some nd else None) people
-    |> Array.of_list
-  in
+  let actors = selected person_acts in
+  let directors = selected person_directs in
+  let users = selected person_user in
   let movie_ids =
     Array.init movies (fun i ->
-        let props =
-          [ ("title", str (Printf.sprintf "Movie%d" i));
-            ("year", int (1950 + Rng.int rng 72));
-            ("genre", str (Rng.pick rng genres));
-            ("runtime", int (60 + Rng.int rng 120)) ]
+        let year = 1950 + Rng.int rng 72 in
+        let genre = Rng.pick rng genres in
+        let runtime = 60 + Rng.int rng 120 in
+        let language =
+          if Rng.coin rng 0.5 then
+            Some (Rng.pick rng [| "en"; "fr"; "de"; "ja"; "hi" |])
+          else None
         in
         let props =
-          if Rng.coin rng 0.5 then
-            ("language", str (Rng.pick rng [| "en"; "fr"; "de"; "ja"; "hi" |]))
-            :: props
-          else props
+          if not with_props then []
+          else begin
+            let props =
+              [ ("title", str (Printf.sprintf "Movie%d" i));
+                ("year", int year);
+                ("genre", str genre);
+                ("runtime", int runtime) ]
+            in
+            match language with
+            | Some l -> ("language", str l) :: props
+            | None -> props
+          end
         in
         Graph_builder.add_node b ~labels:[ "Movie" ] ~props)
   in
@@ -82,9 +113,13 @@ let generate ?(movies = 2200) ~seed () =
       let cast_size = 3 + Rng.geometric rng ~p:0.35 in
       for _ = 1 to min cast_size 12 do
         let a = actors.(Rng.zipf rng ~n:(Array.length actors) ~s:0.7) in
+        let role = Rng.int rng 500 in
         ignore
           (Graph_builder.add_rel b ~src:a ~dst:m ~rel_type:"ACTS_IN"
-             ~props:[ ("role", str (Printf.sprintf "Role%d" (Rng.int rng 500))) ])
+             ~props:
+               (if with_props then
+                  [ ("role", str (Printf.sprintf "Role%d" role)) ]
+                else []))
       done;
       let d = directors.(Rng.zipf rng ~n:(Array.length directors) ~s:0.6) in
       ignore (Graph_builder.add_rel b ~src:d ~dst:m ~rel_type:"DIRECTED" ~props:[]);
@@ -100,9 +135,12 @@ let generate ?(movies = 2200) ~seed () =
   for _ = 1 to n_ratings do
     let u = users.(Rng.zipf rng ~n:(Array.length users) ~s:0.5) in
     let m = movie_ids.(Rng.zipf rng ~n:movies ~s:0.8) in
-    let props = [ ("stars", int (1 + Rng.int rng 5)) ] in
+    let stars = 1 + Rng.int rng 5 in
+    let commented = Rng.coin rng 0.3 in
     let props =
-      if Rng.coin rng 0.3 then ("comment", str "nice one") :: props else props
+      if not with_props then []
+      else if commented then [ ("comment", str "nice one"); ("stars", int stars) ]
+      else [ ("stars", int stars) ]
     in
     ignore (Graph_builder.add_rel b ~src:u ~dst:m ~rel_type:"RATED" ~props)
   done;

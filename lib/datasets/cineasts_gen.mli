@@ -8,7 +8,9 @@
     few triangles, which is what bounds cyclic-pattern cardinalities — and
     hence q-errors — in the paper's Figure 5b. *)
 
-val generate : ?movies:int -> seed:int -> unit -> Dataset.t
-(** [movies] defaults to 2200, yielding ≈9k nodes / ≈45k relationships. *)
+val generate : ?movies:int -> ?props:bool -> seed:int -> unit -> Dataset.t
+(** [movies] defaults to 2200, yielding ≈9k nodes / ≈45k relationships.
+    [props:false] (the Large tier, {!Scale}) skips attaching properties while
+    drawing the identical RNG stream. *)
 
 val hierarchy_pairs : (string * string) list

@@ -10,10 +10,18 @@ let value_pool =
      "iota"; "kappa"; "lambda"; "mu"; "nu"; "xi"; "omicron"; "pi"; "rho";
      "sigma"; "tau"; "upsilon" |]
 
-let generate ?(entities = 24_000) ?(classes = 140) ?(rel_kinds = 90) ~seed () =
+let generate ?(entities = 24_000) ?(classes = 140) ?(rel_kinds = 90)
+    ?(props = true) ~seed () =
   let rng = Rng.create seed in
+  (* Whether to attach properties (off at the Large tier). All RNG draws
+     happen either way, so the relationship structure is identical. *)
+  let with_props = props in
   (* ---- ontology: a class tree of depth ≤ 4 rooted at Thing (class 0) ---- *)
-  let class_name c = if c = 0 then "Thing" else Printf.sprintf "Class%d" c in
+  let class_names =
+    Array.init classes (fun c ->
+        if c = 0 then "Thing" else Printf.sprintf "Class%d" c)
+  in
+  let class_name c = class_names.(c) in
   let parent = Array.make classes 0 in
   let depth = Array.make classes 0 in
   for c = 1 to classes - 1 do
@@ -36,7 +44,8 @@ let generate ?(entities = 24_000) ?(classes = 140) ?(rel_kinds = 90) ~seed () =
   in
   (* ---- property key schema: per class a couple of keys -------------- *)
   let n_keys = 110 in
-  let key_name k = Printf.sprintf "prop%d" k in
+  let key_names = Array.init n_keys (fun k -> Printf.sprintf "prop%d" k) in
+  let key_name k = key_names.(k) in
   let class_keys =
     Array.init classes (fun c ->
         if c = 0 then [| 0 |] (* every Thing has prop0 = its name *)
@@ -54,7 +63,12 @@ let generate ?(entities = 24_000) ?(classes = 140) ?(rel_kinds = 90) ~seed () =
         in
         entity_class.(i) <- c;
         let labels = List.map class_name (ancestors c) in
-        let props = ref [ (key_name 0, str (Printf.sprintf "Entity%d" i)) ] in
+        let props =
+          ref
+            (if with_props then
+               [ (key_name 0, str (Printf.sprintf "Entity%d" i)) ]
+             else [])
+        in
         List.iter
           (fun cls ->
             Array.iter
@@ -64,19 +78,32 @@ let generate ?(entities = 24_000) ?(classes = 140) ?(rel_kinds = 90) ~seed () =
                     if k mod 3 = 0 then int (Rng.zipf rng ~n:50 ~s:1.1)
                     else str value_pool.(Rng.zipf rng ~n:(Array.length value_pool) ~s:0.9)
                   in
-                  props := (key_name k, v) :: !props
+                  if with_props then props := (key_name k, v) :: !props
                 end)
               class_keys.(cls))
           (ancestors c);
         Graph_builder.add_node b ~labels ~props:!props)
   in
-  (* extents: entities per class subtree, for domain/range sampling *)
-  let extents = Array.make classes [] in
+  (* extents: entities per class subtree, for domain/range sampling.
+     Counting sort into flat arrays — no intermediate per-class lists. The
+     fill runs over ascending entity ids writing each slot from the back, so
+     every extent lists its entities in descending id order, matching the
+     cons-onto-accumulator order this used to produce. *)
+  let ext_count = Array.make classes 0 in
+  Array.iter
+    (fun c ->
+      List.iter (fun a -> ext_count.(a) <- ext_count.(a) + 1) (ancestors c))
+    entity_class;
+  let extents = Array.map (fun n -> Array.make n 0) ext_count in
+  let cursor = Array.copy ext_count in
   Array.iteri
     (fun i c ->
-      List.iter (fun a -> extents.(a) <- i :: extents.(a)) (ancestors c))
+      List.iter
+        (fun a ->
+          cursor.(a) <- cursor.(a) - 1;
+          extents.(a).(cursor.(a)) <- i)
+        (ancestors c))
     entity_class;
-  let extents = Array.map Array.of_list extents in
   (* ---- relationship type schema: domain and range classes ------------ *)
   let type_domain = Array.make rel_kinds 0 in
   let type_range = Array.make rel_kinds 0 in
@@ -88,6 +115,7 @@ let generate ?(entities = 24_000) ?(classes = 140) ?(rel_kinds = 90) ~seed () =
     type_domain.(t) <- nonempty ();
     type_range.(t) <- nonempty ()
   done;
+  let rel_names = Array.init rel_kinds (fun t -> Printf.sprintf "rel%d" t) in
   let n_edges = entities * 4 in
   for _ = 1 to n_edges do
     let t = Rng.zipf rng ~n:rel_kinds ~s:0.8 in
@@ -95,13 +123,16 @@ let generate ?(entities = 24_000) ?(classes = 140) ?(rel_kinds = 90) ~seed () =
     let rng_ext = extents.(type_range.(t)) in
     let src = entity_ids.(dom.(Rng.zipf rng ~n:(Array.length dom) ~s:0.4)) in
     let dst = entity_ids.(rng_ext.(Rng.zipf rng ~n:(Array.length rng_ext) ~s:0.4)) in
-    if src <> dst then
+    if src <> dst then begin
+      let since =
+        if Rng.coin rng 0.1 then Some (1900 + Rng.int rng 120) else None
+      in
       ignore
-        (Graph_builder.add_rel b ~src ~dst
-           ~rel_type:(Printf.sprintf "rel%d" t)
+        (Graph_builder.add_rel b ~src ~dst ~rel_type:rel_names.(t)
            ~props:
-             (if Rng.coin rng 0.1 then
-                [ ("since", int (1900 + Rng.int rng 120)) ]
-              else []))
+             (match since with
+             | Some y when with_props -> [ ("since", int y) ]
+             | _ -> []))
+    end
   done;
   Dataset.make ~hierarchy_pairs ~name:"DBpedia" (Graph_builder.freeze b)

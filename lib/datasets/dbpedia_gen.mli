@@ -10,6 +10,13 @@
     tractable (DESIGN.md §3). *)
 
 val generate :
-  ?entities:int -> ?classes:int -> ?rel_kinds:int -> seed:int -> unit -> Dataset.t
+  ?entities:int ->
+  ?classes:int ->
+  ?rel_kinds:int ->
+  ?props:bool ->
+  seed:int ->
+  unit ->
+  Dataset.t
 (** Defaults: 24_000 entities, 140 classes, 90 relationship types, yielding
-    ≈24k nodes / ≈95k relationships. *)
+    ≈24k nodes / ≈95k relationships. [props:false] (the Large tier, {!Scale})
+    skips attaching properties while drawing the identical RNG stream. *)

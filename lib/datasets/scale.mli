@@ -1,0 +1,42 @@
+(** Data-set size tiers.
+
+    [Smoke] and [Default] match the historic CLI sizes (sub-second /
+    seconds-scale builds with exact ground truth); [Large] scales each
+    generator to ≥ 10⁷ relationships, drops per-entity properties to keep
+    the builder's peak memory bounded by the packed columns, and switches
+    ground truth to sampled Wander-Join estimates (exact matching is
+    infeasible at that size — see DESIGN.md §13). *)
+
+type t = Smoke | Default | Large
+
+val of_name : string -> (t, string) result
+(** Case-insensitive ["smoke" | "default" | "large"]. *)
+
+val to_string : t -> string
+
+val props : t -> bool
+(** Whether generators attach properties at this tier ([false] only for
+    [Large]). The relationship structure is identical either way: generators
+    draw the same RNG stream regardless of the flag. *)
+
+val sampled_truth : t -> bool
+(** Whether workload ground truth at this tier should come from Wander-Join
+    sampling rather than exact matching. *)
+
+val snb_persons : t -> int
+(** 120 / 500 / 160_000 (the last ≈ 10.3M relationships). *)
+
+val cineasts_movies : t -> int
+(** 250 / 1_200 / 900_000 (the last ≈ 11.8M relationships). *)
+
+val dbpedia_entities : t -> int
+(** 2_000 / 10_000 / 2_600_000 (the last ≈ 10.4M relationship draws). *)
+
+val dbpedia_classes : t -> int
+
+val dbpedia_rel_kinds : t -> int
+
+val build : t -> name:string -> seed:int -> Dataset.t option
+(** Build one of the named generators ("snb" | "cineasts" | "dbpedia",
+    case-insensitive) at this tier; [None] for any other name (callers fall
+    back to loading a saved graph file). *)

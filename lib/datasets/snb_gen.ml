@@ -36,15 +36,20 @@ let int i = Value.Int i
 (* Timestamps within the benchmark's 2010-2013 window, in epoch days. *)
 let creation_date rng = int (14610 + Rng.int rng 1200)
 
-let generate ?(persons = 900) ~seed () =
+let generate ?(persons = 900) ?(props = true) ~seed () =
   let rng = Rng.create seed in
   let b = Graph_builder.create () in
+  (* [pp] drops properties at the Large tier. Its argument is evaluated
+     either way, so the RNG stream — and hence the relationship structure —
+     is identical with and without properties. *)
+  let with_props = props in
+  let pp l = if with_props then l else [] in
   (* --- places ------------------------------------------------------- *)
   let continent_ids =
     Array.map
       (fun name ->
         Graph_builder.add_node b ~labels:[ "Place"; "Continent" ]
-          ~props:[ ("name", str name) ])
+          ~props:(pp [ ("name", str name) ]))
       continents
   in
   let n_countries = 28 in
@@ -52,7 +57,7 @@ let generate ?(persons = 900) ~seed () =
     Array.init n_countries (fun i ->
         let nd =
           Graph_builder.add_node b ~labels:[ "Place"; "Country" ]
-            ~props:[ ("name", str (Printf.sprintf "Country%d" i)) ]
+            ~props:(pp [ ("name", str (Printf.sprintf "Country%d" i)) ])
         in
         let cont = continent_ids.(Rng.zipf rng ~n:(Array.length continents) ~s:0.8) in
         ignore
@@ -65,7 +70,7 @@ let generate ?(persons = 900) ~seed () =
     Array.init n_cities (fun i ->
         let nd =
           Graph_builder.add_node b ~labels:[ "Place"; "City" ]
-            ~props:[ ("name", str (Printf.sprintf "City%d" i)) ]
+            ~props:(pp [ ("name", str (Printf.sprintf "City%d" i)) ])
         in
         let country = country_ids.(Rng.zipf rng ~n:n_countries ~s:0.9) in
         ignore
@@ -80,8 +85,9 @@ let generate ?(persons = 900) ~seed () =
         let nd =
           Graph_builder.add_node b ~labels:[ "Organisation"; "University" ]
             ~props:
-              [ ("name", str (Printf.sprintf "University%d" i));
-                ("url", str (Printf.sprintf "http://uni%d.example.org" i)) ]
+              (pp
+                 [ ("name", str (Printf.sprintf "University%d" i));
+                   ("url", str (Printf.sprintf "http://uni%d.example.org" i)) ])
         in
         ignore
           (Graph_builder.add_rel b ~src:nd
@@ -95,8 +101,10 @@ let generate ?(persons = 900) ~seed () =
         let nd =
           Graph_builder.add_node b ~labels:[ "Organisation"; "Company" ]
             ~props:
-              [ ("name", str (Printf.sprintf "Company%d" i));
-                ("url", str (Printf.sprintf "http://company%d.example.com" i)) ]
+              (pp
+                 [ ("name", str (Printf.sprintf "Company%d" i));
+                   ("url",
+                    str (Printf.sprintf "http://company%d.example.com" i)) ])
         in
         ignore
           (Graph_builder.add_rel b ~src:nd
@@ -109,7 +117,7 @@ let generate ?(persons = 900) ~seed () =
   let tagclass_ids =
     Array.init n_tagclasses (fun i ->
         Graph_builder.add_node b ~labels:[ "TagClass" ]
-          ~props:[ ("name", str (Printf.sprintf "TagClass%d" i)) ])
+          ~props:(pp [ ("name", str (Printf.sprintf "TagClass%d" i)) ]))
   in
   Array.iteri
     (fun i nd ->
@@ -126,7 +134,7 @@ let generate ?(persons = 900) ~seed () =
     Array.init n_tags (fun i ->
         let nd =
           Graph_builder.add_node b ~labels:[ "Tag" ]
-            ~props:[ ("name", str (Printf.sprintf "Tag%d" i)) ]
+            ~props:(pp [ ("name", str (Printf.sprintf "Tag%d" i)) ])
         in
         ignore
           (Graph_builder.add_rel b ~src:nd
@@ -140,12 +148,13 @@ let generate ?(persons = 900) ~seed () =
     Array.init persons (fun _ ->
         Graph_builder.add_node b ~labels:[ "Person" ]
           ~props:
-            [ ("firstName", str (Rng.pick rng first_names));
-              ("lastName", str (Rng.pick rng last_names));
-              ("gender", str (Rng.pick rng genders));
-              ("birthday", int (3650 + Rng.int rng 14000));
-              ("creationDate", creation_date rng);
-              ("browserUsed", str (Rng.pick rng browsers)) ])
+            (pp
+               [ ("firstName", str (Rng.pick rng first_names));
+                 ("lastName", str (Rng.pick rng last_names));
+                 ("gender", str (Rng.pick rng genders));
+                 ("birthday", int (3650 + Rng.int rng 14000));
+                 ("creationDate", creation_date rng);
+                 ("browserUsed", str (Rng.pick rng browsers)) ]))
   in
   Array.iter
     (fun p ->
@@ -158,14 +167,14 @@ let generate ?(persons = 900) ~seed () =
           (Graph_builder.add_rel b ~src:p
              ~dst:(Rng.pick rng university_ids)
              ~rel_type:"STUDY_AT"
-             ~props:[ ("classYear", int (2000 + Rng.int rng 14)) ]);
+             ~props:(pp [ ("classYear", int (2000 + Rng.int rng 14)) ]));
       let jobs = Rng.geometric rng ~p:0.55 in
       for _ = 1 to min jobs 3 do
         ignore
           (Graph_builder.add_rel b ~src:p
              ~dst:(Rng.pick rng company_ids)
              ~rel_type:"WORK_AT"
-             ~props:[ ("workFrom", int (1995 + Rng.int rng 19)) ])
+             ~props:(pp [ ("workFrom", int (1995 + Rng.int rng 19)) ]))
       done;
       let interests = 2 + Rng.geometric rng ~p:0.35 in
       for _ = 1 to min interests 12 do
@@ -188,7 +197,7 @@ let generate ?(persons = 900) ~seed () =
             ignore
               (Graph_builder.add_rel b ~src:p ~dst:person_ids.(j)
                  ~rel_type:"KNOWS"
-                 ~props:[ ("creationDate", creation_date rng) ])
+                 ~props:(pp [ ("creationDate", creation_date rng) ]))
         done
       end)
     person_ids;
@@ -199,8 +208,9 @@ let generate ?(persons = 900) ~seed () =
         let nd =
           Graph_builder.add_node b ~labels:[ "Forum" ]
             ~props:
-              [ ("title", str (Printf.sprintf "Forum%d" i));
-                ("creationDate", creation_date rng) ]
+              (pp
+                 [ ("title", str (Printf.sprintf "Forum%d" i));
+                   ("creationDate", creation_date rng) ])
         in
         let moderator = person_ids.(Rng.zipf rng ~n:persons ~s:0.4) in
         ignore
@@ -212,7 +222,7 @@ let generate ?(persons = 900) ~seed () =
             (Graph_builder.add_rel b ~src:nd
                ~dst:person_ids.(Rng.zipf rng ~n:persons ~s:0.5)
                ~rel_type:"HAS_MEMBER"
-               ~props:[ ("joinDate", creation_date rng) ])
+               ~props:(pp [ ("joinDate", creation_date rng) ]))
         done;
         ignore
           (Graph_builder.add_rel b ~src:nd ~dst:(pick_tag rng)
@@ -232,7 +242,10 @@ let generate ?(persons = 900) ~seed () =
         let props =
           if has_image then ("imageFile", str "photo.jpg") :: props else props
         in
-        let nd = Graph_builder.add_node b ~labels:[ "Message"; "Post" ] ~props in
+        let nd =
+          Graph_builder.add_node b ~labels:[ "Message"; "Post" ]
+            ~props:(pp props)
+        in
         let forum = forum_ids.(Rng.zipf rng ~n:n_forums ~s:0.6) in
         ignore
           (Graph_builder.add_rel b ~src:forum ~dst:nd ~rel_type:"CONTAINER_OF"
@@ -257,9 +270,10 @@ let generate ?(persons = 900) ~seed () =
     let nd =
       Graph_builder.add_node b ~labels:[ "Message"; "Comment" ]
         ~props:
-          [ ("creationDate", creation_date rng);
-            ("browserUsed", str (Rng.pick rng browsers));
-            ("length", int (5 + Rng.int rng 295)) ]
+          (pp
+             [ ("creationDate", creation_date rng);
+               ("browserUsed", str (Rng.pick rng browsers));
+               ("length", int (5 + Rng.int rng 295)) ])
     in
     comment_ids.(i) <- nd;
     (* reply to a post (70%) or an earlier comment (30%) *)
@@ -287,6 +301,6 @@ let generate ?(persons = 900) ~seed () =
     in
     ignore
       (Graph_builder.add_rel b ~src:person ~dst:message ~rel_type:"LIKES"
-         ~props:[ ("creationDate", creation_date rng) ])
+         ~props:(pp [ ("creationDate", creation_date rng) ]))
   done;
   Dataset.make ~hierarchy_pairs ~name:"SNB" (Graph_builder.freeze b)

@@ -7,8 +7,11 @@
     label/property usage. Scale is reduced so exact ground-truth counting
     remains tractable (the q-error metric is scale-free; DESIGN.md §3). *)
 
-val generate : ?persons:int -> seed:int -> unit -> Dataset.t
-(** [persons] defaults to 900, yielding ≈15k nodes / ≈90k relationships. *)
+val generate : ?persons:int -> ?props:bool -> seed:int -> unit -> Dataset.t
+(** [persons] defaults to 900, yielding ≈15k nodes / ≈90k relationships.
+    [props:false] (the Large tier, {!Scale}) skips attaching properties while
+    drawing the identical RNG stream, so the relationship structure is the
+    same either way. *)
 
 val hierarchy_pairs : (string * string) list
 (** The curated (sublabel, superlabel) pairs the generator guarantees. *)

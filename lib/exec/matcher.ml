@@ -79,20 +79,16 @@ let iter_candidate_rels g (rp : Pattern.rel_pat) ~from_src u f =
   let want_out = rp.r_directed && from_src in
   let want_in = rp.r_directed && not from_src in
   let scan_out () =
-    Array.iter
-      (fun r ->
+    Graph.iter_out_rels g u (fun r ->
         if type_ok rp.r_types (Graph.rel_type g r) then f r (Graph.rel_dst g r))
-      (Graph.out_rels g u)
   in
   let scan_in () =
-    Array.iter
-      (fun r ->
+    Graph.iter_in_rels g u (fun r ->
         if
           type_ok rp.r_types (Graph.rel_type g r)
           (* self-loops already produced by the out scan in undirected mode *)
           && not ((not rp.r_directed) && Graph.rel_src g r = Graph.rel_dst g r)
         then f r (Graph.rel_src g r))
-      (Graph.in_rels g u)
   in
   if want_out then scan_out ()
   else if want_in then scan_in ()

@@ -73,16 +73,12 @@ let apply_op ~edge_iso g mappings (op : Algebra.op) =
               then f r other
             in
             let scan_out () =
-              Array.iter
-                (fun r -> consider r (Graph.rel_dst g r))
-                (Graph.out_rels g u)
+              Graph.iter_out_rels g u (fun r -> consider r (Graph.rel_dst g r))
             in
             let scan_in ~skip_loops =
-              Array.iter
-                (fun r ->
+              Graph.iter_in_rels g u (fun r ->
                   if not (skip_loops && Graph.rel_src g r = Graph.rel_dst g r)
                   then consider r (Graph.rel_src g r))
-                (Graph.in_rels g u)
             in
             match (dir : Direction.t) with
             | Out -> scan_out ()

@@ -46,7 +46,9 @@ let run ?(measure_time = true) ?jobs (t : Technique.t) queries =
         {
           query = q;
           estimate;
-          q_error = Qerror.q_error ~truth:(float_of_int q.true_card) ~estimate;
+          q_error =
+            Qerror.q_error ~truth:(Lpp_workload.Query_gen.truth_value q)
+              ~estimate;
           runtime_ns;
         }
       in

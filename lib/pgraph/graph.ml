@@ -1,19 +1,28 @@
+module Iarr = Lpp_util.Iarr
+
 type node = int
 
 type rel = int
 
+(* Relationship columns and adjacency are CSR over Bigarrays ({!Iarr}): the
+   GC never scans them, and ids narrow to 32 bits when they fit — the
+   difference between a 10⁸-edge graph fitting in memory or not. Per-entity
+   variable-width data (label sets, property lists) stays boxed: those arrays
+   are tiny and mostly share the static empty atom. *)
 type t = {
   labels : Interner.t;
   rel_types : Interner.t;
   prop_keys : Interner.t;
   node_labels : int array array;
   node_props : (int * Value.t) array array;
-  rel_src : int array;
-  rel_dst : int array;
-  rel_type : int array;
+  rel_src : Iarr.t;
+  rel_dst : Iarr.t;
+  rel_type : Iarr.t;
   rel_props : (int * Value.t) array array;
-  out_adj : int array array;
-  in_adj : int array array;
+  out_off : Iarr.t;  (* node_count + 1 slots *)
+  out_tgt : Iarr.t;  (* rel ids, ascending within each node's slice *)
+  in_off : Iarr.t;
+  in_tgt : Iarr.t;
   label_index : int array array; (* label id -> sorted node ids *)
   unlabeled : int;
   prop_total : int;
@@ -21,7 +30,7 @@ type t = {
 
 let node_count t = Array.length t.node_labels
 
-let rel_count t = Array.length t.rel_src
+let rel_count t = Iarr.length t.rel_src
 
 let property_count t = t.prop_total
 
@@ -66,29 +75,45 @@ let nodes_with_label t l =
 
 let unlabeled_node_count t = t.unlabeled
 
-let rel_src t r = t.rel_src.(r)
+let rel_src t r = Iarr.get t.rel_src r
 
-let rel_dst t r = t.rel_dst.(r)
+let rel_dst t r = Iarr.get t.rel_dst r
 
-let rel_type t r = t.rel_type.(r)
+let rel_type t r = Iarr.get t.rel_type r
 
 let rel_props t r = t.rel_props.(r)
 
 let rel_prop t r key = assoc_prop t.rel_props.(r) key
 
-let out_rels t n = t.out_adj.(n)
+let out_rels t n =
+  let lo = Iarr.get t.out_off n in
+  Iarr.sub_to_array t.out_tgt ~pos:lo ~len:(Iarr.get t.out_off (n + 1) - lo)
 
-let in_rels t n = t.in_adj.(n)
+let in_rels t n =
+  let lo = Iarr.get t.in_off n in
+  Iarr.sub_to_array t.in_tgt ~pos:lo ~len:(Iarr.get t.in_off (n + 1) - lo)
+
+let iter_out_rels t n f =
+  let lo = Iarr.get t.out_off n in
+  Iarr.iter_range t.out_tgt ~pos:lo ~len:(Iarr.get t.out_off (n + 1) - lo) f
+
+let iter_in_rels t n f =
+  let lo = Iarr.get t.in_off n in
+  Iarr.iter_range t.in_tgt ~pos:lo ~len:(Iarr.get t.in_off (n + 1) - lo) f
+
+let out_degree t n = Iarr.get t.out_off (n + 1) - Iarr.get t.out_off n
+
+let in_degree t n = Iarr.get t.in_off (n + 1) - Iarr.get t.in_off n
 
 let degree t dir n =
   match (dir : Direction.t) with
-  | Out -> Array.length t.out_adj.(n)
-  | In -> Array.length t.in_adj.(n)
-  | Both -> Array.length t.out_adj.(n) + Array.length t.in_adj.(n)
+  | Out -> out_degree t n
+  | In -> in_degree t n
+  | Both -> out_degree t n + in_degree t n
 
 let other_end t r n =
-  if t.rel_src.(r) = n then t.rel_dst.(r)
-  else if t.rel_dst.(r) = n then t.rel_src.(r)
+  if rel_src t r = n then rel_dst t r
+  else if rel_dst t r = n then rel_src t r
   else invalid_arg "Graph.other_end: node is not an endpoint"
 
 let iter_nodes t f =
@@ -111,23 +136,32 @@ let fold_rels t ~init ~f =
   iter_rels t (fun r -> acc := f !acc r);
   !acc
 
-let build_adjacency ~n_nodes ~endpoints =
-  let counts = Array.make n_nodes 0 in
-  Array.iter (fun e -> counts.(e) <- counts.(e) + 1) endpoints;
-  let adj = Array.map (fun c -> Array.make c 0) counts in
-  let fill = Array.make n_nodes 0 in
-  Array.iteri
-    (fun r e ->
-      adj.(e).(fill.(e)) <- r;
-      fill.(e) <- fill.(e) + 1)
-    endpoints;
-  adj
+(* Counting-sort CSR fill: iterating rels in ascending id order keeps each
+   node's slice ascending, matching the per-node adjacency lists the boxed
+   representation used to build — callers observe identical orderings. *)
+let build_csr ~n_nodes ~endpoints =
+  let m = Iarr.length endpoints in
+  let counts = Array.make (n_nodes + 1) 0 in
+  Iarr.iter endpoints (fun e -> counts.(e + 1) <- counts.(e + 1) + 1);
+  for i = 1 to n_nodes do
+    counts.(i) <- counts.(i) + counts.(i - 1)
+  done;
+  (* counts.(e) is now the start of e's slice (counts.(n_nodes) = m) *)
+  let off = Iarr.of_array ~max_value:m counts in
+  let tgt = Iarr.create ~max_value:(max 0 (m - 1)) m in
+  let cursor = Array.sub counts 0 n_nodes in
+  for r = 0 to m - 1 do
+    let e = Iarr.get endpoints r in
+    Iarr.set tgt cursor.(e) r;
+    cursor.(e) <- cursor.(e) + 1
+  done;
+  (off, tgt)
 
-let unsafe_make ~labels ~rel_types ~prop_keys ~node_labels ~node_props ~rel_src
-    ~rel_dst ~rel_type ~rel_props =
+let unsafe_make_packed ~labels ~rel_types ~prop_keys ~node_labels ~node_props
+    ~rel_src ~rel_dst ~rel_type ~rel_props =
   let n_nodes = Array.length node_labels in
-  let out_adj = build_adjacency ~n_nodes ~endpoints:rel_src in
-  let in_adj = build_adjacency ~n_nodes ~endpoints:rel_dst in
+  let out_off, out_tgt = build_csr ~n_nodes ~endpoints:rel_src in
+  let in_off, in_tgt = build_csr ~n_nodes ~endpoints:rel_dst in
   let label_counts = Array.make (Interner.size labels) 0 in
   Array.iter
     (fun ls -> Array.iter (fun l -> label_counts.(l) <- label_counts.(l) + 1) ls)
@@ -161,9 +195,34 @@ let unsafe_make ~labels ~rel_types ~prop_keys ~node_labels ~node_props ~rel_src
     rel_dst;
     rel_type;
     rel_props;
-    out_adj;
-    in_adj;
+    out_off;
+    out_tgt;
+    in_off;
+    in_tgt;
     label_index;
     unlabeled;
     prop_total;
   }
+
+let unsafe_make ~labels ~rel_types ~prop_keys ~node_labels ~node_props ~rel_src
+    ~rel_dst ~rel_type ~rel_props =
+  let n_nodes = Array.length node_labels in
+  let node_max = max 0 (n_nodes - 1) in
+  unsafe_make_packed ~labels ~rel_types ~prop_keys ~node_labels ~node_props
+    ~rel_src:(Iarr.of_array ~max_value:node_max rel_src)
+    ~rel_dst:(Iarr.of_array ~max_value:node_max rel_dst)
+    ~rel_type:(Iarr.of_array rel_type)
+    ~rel_props
+
+let memory_breakdown t =
+  [
+    ( "graph.rels",
+      Iarr.size_in_bytes t.rel_src + Iarr.size_in_bytes t.rel_dst
+      + Iarr.size_in_bytes t.rel_type );
+    ( "graph.adjacency",
+      Iarr.size_in_bytes t.out_off + Iarr.size_in_bytes t.out_tgt
+      + Iarr.size_in_bytes t.in_off + Iarr.size_in_bytes t.in_tgt );
+  ]
+
+let csr_bytes t =
+  List.fold_left (fun acc (_, b) -> acc + b) 0 (memory_breakdown t)

@@ -75,10 +75,22 @@ val rel_props : t -> rel -> (int * Value.t) array
 val rel_prop : t -> rel -> int -> Value.t option
 
 val out_rels : t -> node -> rel array
-(** Relationship ids whose source is the node; the physical index — do not
-    mutate. *)
+(** Relationship ids whose source is the node, ascending. A freshly allocated
+    copy of the CSR slice — callers may keep it, but hot paths should use
+    {!iter_out_rels} instead, which allocates nothing. *)
 
 val in_rels : t -> node -> rel array
+
+val iter_out_rels : t -> node -> (rel -> unit) -> unit
+(** Apply [f] to each out-relationship id in ascending order without
+    materialising the slice — the traversal primitive for matcher-grade
+    loops. *)
+
+val iter_in_rels : t -> node -> (rel -> unit) -> unit
+
+val out_degree : t -> node -> int
+
+val in_degree : t -> node -> int
 
 val degree : t -> Direction.t -> node -> int
 (** Number of incident relationships in the given direction; [Both] counts
@@ -114,3 +126,28 @@ val unsafe_make :
   t
 (** Invariants (sortedness of label/prop arrays, id ranges) are the caller's
     responsibility; {!Graph_builder.freeze} establishes them. *)
+
+val unsafe_make_packed :
+  labels:Interner.t ->
+  rel_types:Interner.t ->
+  prop_keys:Interner.t ->
+  node_labels:int array array ->
+  node_props:(int * Value.t) array array ->
+  rel_src:Lpp_util.Iarr.t ->
+  rel_dst:Lpp_util.Iarr.t ->
+  rel_type:Lpp_util.Iarr.t ->
+  rel_props:(int * Value.t) array array ->
+  t
+(** Like {!unsafe_make} but taking the relationship columns already packed,
+    so a streaming builder never materialises boxed copies. *)
+
+(** {1 Memory accounting} *)
+
+val memory_breakdown : t -> (string * int) list
+(** Physical bytes of the Bigarray-backed components: the relationship
+    columns and the CSR adjacency (labelled ["graph.rels"] and
+    ["graph.adjacency"]). Boxed per-entity data (labels, properties) is not
+    included. *)
+
+val csr_bytes : t -> int
+(** Total over {!memory_breakdown}. *)

@@ -84,6 +84,12 @@ let save g path =
 
 exception Bad of string
 
+(* The reader streams every line straight into a {!Graph_builder}: vocabulary
+   declarations intern immediately, entities append to the builder's flat
+   vectors, and properties attach to already-declared owners — no
+   whole-file materialisation, so loading never holds two copies of the
+   graph. Consequence of streaming: entity and property lines must reference
+   owners already declared (the writer emits exactly that order). *)
 let read ic =
   let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
   try
@@ -91,17 +97,9 @@ let read ic =
     | line when line = magic -> ()
     | line -> fail "bad magic %S" line
     | exception End_of_file -> fail "empty input");
-    let labels = Interner.create () in
-    let rel_types = Interner.create () in
-    let prop_keys = Interner.create () in
-    let nodes = ref [] (* reversed: (labels, props rev ref) *) in
-    let n_nodes = ref 0 in
-    let rels = ref [] in
-    let n_rels = ref 0 in
-    let node_props : (int, (int * Value.t) list ref) Hashtbl.t = Hashtbl.create 64 in
-    let rel_props : (int, (int * Value.t) list ref) Hashtbl.t = Hashtbl.create 64 in
-    let intern_decl interner id name =
-      let got = Interner.intern interner (unescape name) in
+    let b = Graph_builder.create () in
+    let intern_decl intern id name =
+      let got = intern b (unescape name) in
       if got <> id then fail "non-dense vocabulary id %d" id
     in
     let int_of s =
@@ -114,75 +112,64 @@ let read ic =
       | Some v -> v
       | None -> fail "bad value literal %S" s
     in
-    let push_prop tbl owner k v =
-      let cell =
-        match Hashtbl.find_opt tbl owner with
-        | Some c -> c
-        | None ->
-            let c = ref [] in
-            Hashtbl.add tbl owner c;
-            c
-      in
-      cell := (k, v) :: !cell
+    let check_key k =
+      if k < 0 || k >= Graph_builder.prop_key_count b then
+        fail "key id out of range"
     in
     (try
        while true do
          let line = input_line ic in
          if line <> "" then begin
            match String.split_on_char '\t' line with
-           | "label" :: id :: [ name ] -> intern_decl labels (int_of id) name
-           | "type" :: id :: [ name ] -> intern_decl rel_types (int_of id) name
-           | "key" :: id :: [ name ] -> intern_decl prop_keys (int_of id) name
+           | "label" :: id :: [ name ] ->
+               intern_decl Graph_builder.intern_label (int_of id) name
+           | "type" :: id :: [ name ] ->
+               intern_decl Graph_builder.intern_rel_type (int_of id) name
+           | "key" :: id :: [ name ] ->
+               intern_decl Graph_builder.intern_prop_key (int_of id) name
            | "node" :: id :: label_ids ->
-               if int_of id <> !n_nodes then fail "non-dense node id %s" id;
-               incr n_nodes;
-               nodes := Array.of_list (List.map int_of label_ids) :: !nodes
+               if int_of id <> Graph_builder.node_count b then
+                 fail "non-dense node id %s" id;
+               let ls = Array.of_list (List.map int_of label_ids) in
+               Array.iter
+                 (fun l ->
+                   if l < 0 || l >= Graph_builder.label_count b then
+                     fail "label id out of range")
+                 ls;
+               ignore (Graph_builder.add_node_ids b ~labels:ls)
            | [ "nprop"; nd; k; v ] ->
-               push_prop node_props (int_of nd) (int_of k) (value_of v)
+               let nd = int_of nd in
+               if nd < 0 || nd >= Graph_builder.node_count b then
+                 fail "node property owner out of range";
+               let k = int_of k in
+               check_key k;
+               Graph_builder.set_node_prop b nd ~key:k (value_of v)
            | [ "rel"; id; src; dst; typ ] ->
-               if int_of id <> !n_rels then fail "non-dense rel id %s" id;
-               incr n_rels;
-               rels := (int_of src, int_of dst, int_of typ) :: !rels
+               if int_of id <> Graph_builder.rel_count b then
+                 fail "non-dense rel id %s" id;
+               let src = int_of src and dst = int_of dst in
+               if
+                 src < 0
+                 || src >= Graph_builder.node_count b
+                 || dst < 0
+                 || dst >= Graph_builder.node_count b
+               then fail "relationship endpoint out of range";
+               let typ = int_of typ in
+               if typ < 0 || typ >= Graph_builder.rel_type_count b then
+                 fail "type id out of range";
+               ignore (Graph_builder.add_rel_ids b ~src ~dst ~typ)
            | [ "rprop"; r; k; v ] ->
-               push_prop rel_props (int_of r) (int_of k) (value_of v)
+               let r = int_of r in
+               if r < 0 || r >= Graph_builder.rel_count b then
+                 fail "rel property owner out of range";
+               let k = int_of k in
+               check_key k;
+               Graph_builder.set_rel_prop b r ~key:k (value_of v)
            | _ -> fail "unrecognised line %S" line
          end
        done
      with End_of_file -> ());
-    let node_labels = Array.of_list (List.rev !nodes) in
-    Array.iteri
-      (fun nd ls ->
-        ignore nd;
-        Array.iter
-          (fun l -> if l < 0 || l >= Interner.size labels then fail "label id out of range")
-          ls)
-      node_labels;
-    let rel_arr = Array.of_list (List.rev !rels) in
-    Array.iter
-      (fun (s, d, t) ->
-        if s < 0 || s >= !n_nodes || d < 0 || d >= !n_nodes then
-          fail "relationship endpoint out of range";
-        if t < 0 || t >= Interner.size rel_types then fail "type id out of range")
-      rel_arr;
-    let props_of tbl owner =
-      match Hashtbl.find_opt tbl owner with
-      | None -> [||]
-      | Some c ->
-          let arr = Array.of_list (List.rev !c) in
-          Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
-          Array.iter
-            (fun (k, _) ->
-              if k < 0 || k >= Interner.size prop_keys then fail "key id out of range")
-            arr;
-          arr
-    in
-    Ok
-      (Graph.unsafe_make ~labels ~rel_types ~prop_keys ~node_labels
-         ~node_props:(Array.init !n_nodes (props_of node_props))
-         ~rel_src:(Array.map (fun (s, _, _) -> s) rel_arr)
-         ~rel_dst:(Array.map (fun (_, d, _) -> d) rel_arr)
-         ~rel_type:(Array.map (fun (_, _, t) -> t) rel_arr)
-         ~rel_props:(Array.init !n_rels (props_of rel_props)))
+    Ok (Graph_builder.freeze b)
   with Bad msg -> Error msg
 
 let load path =

@@ -26,22 +26,42 @@ open Lpp_pgraph
      sparse that (T+1)·(L+1) exceeds the slot limit), fall back to the flat
      sorted key/count pair with whole-table binary search, which costs
      O(log entries) but only bytes per *occupied* key. *)
+(* Frozen counter storage is a flat [(int, int_elt)] Bigarray: reads return
+   unboxed immediates (no per-lookup allocation even without flambda), the GC
+   never scans the tables, and counts keep the full native-int range — at
+   10⁸ edges the wildcard projections overflow an int32. *)
+type ia = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let ia_make n : ia =
+  let a = Bigarray.Array1.create Bigarray.Int Bigarray.C_layout n in
+  Bigarray.Array1.fill a 0;
+  a
+
+let ia_of_array arr : ia =
+  let a =
+    Bigarray.Array1.create Bigarray.Int Bigarray.C_layout (Array.length arr)
+  in
+  Array.iteri (fun i v -> a.{i} <- v) arr;
+  a
+
 type layout =
-  | Dense of int array  (* (T+1)·(L+1)² counters, index = packed key *)
+  | Dense of ia  (* (T+1)·(L+1)² counters, index = packed key *)
   | Rows of {
-      row_start : int array;  (* (T+1)·(L+1) + 1 slots; row = tyo·(L+1) + l1o *)
-      cols : int array;  (* far label (+1), ascending within each row *)
-      cnts : int array;
-      tr_row_start : int array;  (* dst-major mirror for In-direction sweeps *)
-      tr_cols : int array;  (* near label (+1) *)
-      tr_cnts : int array;
+      row_start : ia;  (* (T+1)·(L+1) + 1 slots; row = tyo·(L+1) + l1o *)
+      cols : ia;  (* far label (+1), ascending within each row *)
+      cnts : ia;
+      tr_row_start : ia;  (* dst-major mirror for In-direction sweeps *)
+      tr_cols : ia;  (* near label (+1) *)
+      tr_cnts : ia;
     }
-  | Packed of { keys : int array; counts : int array }  (* sorted by key *)
+  | Packed of { keys : ia; counts : ia }  (* sorted by key *)
 
 type frozen = {
   fz_labels : int;  (* label ids ≥ this (interned post-freeze) count 0 *)
   fz_types : int;
   fz_layout : layout;
+  fz_nc : ia;  (* NC snapshot so frozen reads never touch the boxed array *)
+  fz_bytes : int;  (* physical bytes of the frozen arrays *)
   fz_mem_simple : int;  (* memory accounting precomputed at freeze time *)
   fz_mem_advanced : int;
 }
@@ -95,6 +115,8 @@ let m_freeze_dense = Lpp_obs.Metrics.counter "catalog.freeze.dense"
 let m_freeze_packed = Lpp_obs.Metrics.counter "catalog.freeze.packed"
 
 let m_thaw = Lpp_obs.Metrics.counter "catalog.thaw"
+
+let g_frozen_bytes = Lpp_obs.Metrics.gauge "catalog.frozen_bytes"
 
 let bump tbl key =
   Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
@@ -223,7 +245,10 @@ let build ?jobs g = build_with ?jobs g
 
 let nc_star t = t.total_nodes
 
-let nc t l = if l >= 0 && l < Array.length t.nc then t.nc.(l) else 0
+let nc t l =
+  match t.frozen with
+  | Some f -> if l >= 0 && l < Bigarray.Array1.dim f.fz_nc then f.fz_nc.{l} else 0
+  | None -> if l >= 0 && l < Array.length t.nc then t.nc.(l) else 0
 
 let label_count t = Array.length t.nc
 
@@ -275,13 +300,13 @@ let csr_of_entries entries ~nrows ~labels1 =
     row_start.(r) <- row_start.(r) + row_start.(r - 1)
   done;
   let n = Array.length entries in
-  let cols = Array.make n 0 and cnts = Array.make n 0 in
+  let cols = ia_make n and cnts = ia_make n in
   Array.iteri
     (fun i (k, c) ->
-      cols.(i) <- k mod labels1;
-      cnts.(i) <- c)
+      cols.{i} <- k mod labels1;
+      cnts.{i} <- c)
     entries;
-  (row_start, cols, cnts)
+  (ia_of_array row_start, cols, cnts)
 
 let freeze t =
   if t.frozen = None then begin
@@ -304,12 +329,12 @@ let freeze t =
     let layout =
       if slots <= dense_slot_limit then begin
         Lpp_obs.Metrics.incr m_freeze_dense;
-        let dense = Array.make slots 0 in
+        let dense = ia_make slots in
         Hashtbl.iter
-          (fun (l1, l2) c -> dense.(pack ~l1 ~typ:star ~l2 ~labels1) <- c)
+          (fun (l1, l2) c -> dense.{pack ~l1 ~typ:star ~l2 ~labels1} <- c)
           t.any_type;
         Hashtbl.iter
-          (fun (l1, typ, l2) c -> dense.(pack ~l1 ~typ ~l2 ~labels1) <- c)
+          (fun (l1, typ, l2) c -> dense.{pack ~l1 ~typ ~l2 ~labels1} <- c)
           t.triples;
         Dense dense
       end
@@ -349,18 +374,32 @@ let freeze t =
           Array.sort (fun (k1, _) (k2, _) -> Int.compare k1 k2) entries;
           Packed
             {
-              keys = Array.map fst entries;
-              counts = Array.map snd entries;
+              keys = ia_of_array (Array.map fst entries);
+              counts = ia_of_array (Array.map snd entries);
             }
         end
       end
     in
+    let fz_nc = ia_of_array t.nc in
+    let layout_bytes =
+      let ba = Lpp_util.Mem_size.bigarray1 in
+      match layout with
+      | Dense d -> ba d
+      | Rows { row_start; cols; cnts; tr_row_start; tr_cols; tr_cnts } ->
+          ba row_start + ba cols + ba cnts + ba tr_row_start + ba tr_cols
+          + ba tr_cnts
+      | Packed { keys; counts } -> ba keys + ba counts
+    in
+    let fz_bytes = layout_bytes + Lpp_util.Mem_size.bigarray1 fz_nc in
+    if !Lpp_obs.Obs.live then Lpp_obs.Metrics.set g_frozen_bytes fz_bytes;
     t.frozen <-
       Some
         {
           fz_labels = labels;
           fz_types = types;
           fz_layout = layout;
+          fz_nc;
+          fz_bytes;
           fz_mem_simple = mem_simple_of t ~pair_entries:t.pair_entries;
           fz_mem_advanced =
             mem_advanced_of t ~triple_entries:(Hashtbl.length t.triples);
@@ -388,24 +427,25 @@ let fz_get f ~l1 ~typ ~l2 =
     match f.fz_layout with
     | Dense dense ->
         if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_lookup_dense;
-        dense.(key)
+        dense.{key}
     | Rows { row_start; cols; cnts; _ } ->
         if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_lookup_packed;
         let row = (tyo * labels1) + l1o in
-        let lo = ref row_start.(row) and hi = ref row_start.(row + 1) in
+        let lo = ref row_start.{row} and hi = ref row_start.{row + 1} in
         while !hi - !lo > 0 do
           let mid = (!lo + !hi) / 2 in
-          if cols.(mid) < l2o then lo := mid + 1 else hi := mid
+          if cols.{mid} < l2o then lo := mid + 1 else hi := mid
         done;
-        if !lo < row_start.(row + 1) && cols.(!lo) = l2o then cnts.(!lo) else 0
+        if !lo < row_start.{row + 1} && cols.{!lo} = l2o then cnts.{!lo} else 0
     | Packed { keys; counts } ->
         if !Lpp_obs.Obs.live then Lpp_obs.Metrics.incr m_lookup_packed;
-        let lo = ref 0 and hi = ref (Array.length keys) in
+        let lo = ref 0 and hi = ref (Bigarray.Array1.dim keys) in
         while !hi - !lo > 0 do
           let mid = (!lo + !hi) / 2 in
-          if keys.(mid) < key then lo := mid + 1 else hi := mid
+          if keys.{mid} < key then lo := mid + 1 else hi := mid
         done;
-        if !lo < Array.length keys && keys.(!lo) = key then counts.(!lo) else 0
+        if !lo < Bigarray.Array1.dim keys && keys.{!lo} = key then counts.{!lo}
+        else 0
   end
 
 let rc_directed_unfrozen t ~src ~types ~dst =
@@ -467,7 +507,11 @@ let unsafe_set_rc t ~src ~typ ~dst count =
   | None -> Hashtbl.replace t.any_type (l1, l2) count
 
 let unsafe_set_nc t l count =
-  if l >= 0 && l < Array.length t.nc then t.nc.(l) <- count
+  if l >= 0 && l < Array.length t.nc then t.nc.(l) <- count;
+  (* test-only corruption must stay observable through a frozen snapshot *)
+  match t.frozen with
+  | Some f when l >= 0 && l < Bigarray.Array1.dim f.fz_nc -> f.fz_nc.{l} <- count
+  | _ -> ()
 
 let rc_row t ~dir ~node ~types ~row =
   let len = Array.length row in
@@ -493,14 +537,14 @@ let rc_row t ~dir ~node ~types ~row =
             | Out | Both ->
                 let base = ((tyo * labels1) + no) * labels1 in
                 for l' = 0 to last do
-                  row.(l') <- row.(l') + dense.(base + l' + 1)
+                  row.(l') <- row.(l') + dense.{base + l' + 1}
                 done
             | In -> ());
             match (dir : Direction.t) with
             | In | Both ->
                 let base = (tyo * labels1 * labels1) + no in
                 for l' = 0 to last do
-                  row.(l') <- row.(l') + dense.(base + ((l' + 1) * labels1))
+                  row.(l') <- row.(l') + dense.{base + ((l' + 1) * labels1)}
                 done
             | Out -> ()
           end
@@ -522,11 +566,11 @@ let rc_row t ~dir ~node ~types ~row =
         (* walk the occupied entries of row (tyo, no): cols hold the far
            label (+1), so col 0 is the wildcard far side, which [generic]
            never asks for; entries beyond [len] keep the bounds-miss 0 *)
-        let sweep row_start cols cnts tyo =
+        let sweep (row_start : ia) (cols : ia) (cnts : ia) tyo =
           let r = (tyo * labels1) + no in
-          for j = row_start.(r) to row_start.(r + 1) - 1 do
-            let l' = cols.(j) - 1 in
-            if l' >= 0 && l' < len then row.(l') <- row.(l') + cnts.(j)
+          for j = row_start.{r} to row_start.{r + 1} - 1 do
+            let l' = cols.{j} - 1 in
+            if l' >= 0 && l' < len then row.(l') <- row.(l') + cnts.{j}
           done
         in
         let add_ty tyo =
@@ -640,3 +684,31 @@ let memory_bytes_props t = Prop_stats.memory_bytes t.props
 
 let memory_bytes_alhd t =
   memory_bytes_advanced t + memory_bytes_optional t + memory_bytes_props t
+
+(* Physical per-component bytes: frozen catalogs report the Bigarray payloads
+   actually resident; unfrozen ones fall back to the logical hashtable
+   accounting above. *)
+let memory_breakdown t =
+  let nc_rc =
+    match t.frozen with
+    | Some f ->
+        [
+          ("catalog.nc", Lpp_util.Mem_size.bigarray1 f.fz_nc);
+          ("catalog.rc", f.fz_bytes - Lpp_util.Mem_size.bigarray1 f.fz_nc);
+        ]
+    | None ->
+        [
+          ("catalog.nc", nc_bytes t);
+          ( "catalog.rc",
+            mem_advanced_of t ~triple_entries:(Hashtbl.length t.triples)
+            - nc_bytes t );
+        ]
+  in
+  nc_rc
+  @ [
+      ("catalog.props", memory_bytes_props t);
+      ("catalog.hierarchy", Label_hierarchy.memory_bytes t.hierarchy);
+      ("catalog.partition", Label_partition.memory_bytes t.partition);
+    ]
+
+let frozen_bytes t = Option.map (fun f -> f.fz_bytes) t.frozen

@@ -194,3 +194,15 @@ val memory_bytes_props : t -> int
 
 val memory_bytes_alhd : t -> int
 (** Advanced + optional + properties: the A-LHD configuration's footprint. *)
+
+val memory_breakdown : t -> (string * int) list
+(** Per-component bytes, labelled ["catalog.nc"], ["catalog.rc"],
+    ["catalog.props"], ["catalog.hierarchy"], ["catalog.partition"]. On a
+    frozen catalog the NC/RC figures are the physical Bigarray payloads of
+    the compiled tables; unfrozen they fall back to the logical
+    [memory_bytes_*] accounting. *)
+
+val frozen_bytes : t -> int option
+(** Physical bytes of the frozen snapshot's flat arrays (NC + compiled RC
+    layout); [None] while unfrozen. Also published as the
+    [catalog.frozen_bytes] gauge at freeze time. *)

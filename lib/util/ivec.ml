@@ -1,0 +1,49 @@
+type t = {
+  mutable data : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  mutable len : int;
+}
+
+let alloc n = Bigarray.Array1.create Bigarray.Int Bigarray.C_layout n
+
+let create ?(capacity = 16) () = { data = alloc (max capacity 1); len = 0 }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ivec.get: index out of bounds";
+  Bigarray.Array1.unsafe_get t.data i
+
+let grow t =
+  let cap = Bigarray.Array1.dim t.data in
+  let fresh = alloc (2 * cap) in
+  Bigarray.Array1.blit t.data (Bigarray.Array1.sub fresh 0 cap);
+  t.data <- fresh
+
+let push t v =
+  if t.len = Bigarray.Array1.dim t.data then grow t;
+  Bigarray.Array1.unsafe_set t.data t.len v;
+  t.len <- t.len + 1
+
+let max_element t =
+  let m = ref 0 in
+  for i = 0 to t.len - 1 do
+    let v = Bigarray.Array1.unsafe_get t.data i in
+    if v > !m then m := v
+  done;
+  !m
+
+let to_iarr t =
+  let out = Iarr.create ~max_value:(max_element t) t.len in
+  for i = 0 to t.len - 1 do
+    Iarr.set out i (Bigarray.Array1.unsafe_get t.data i)
+  done;
+  out
+
+let to_array t = Array.init t.len (fun i -> Bigarray.Array1.unsafe_get t.data i)
+
+let sub_to_array t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Ivec.sub_to_array: slice out of bounds";
+  Array.init len (fun i -> Bigarray.Array1.unsafe_get t.data (pos + i))
+
+let size_in_bytes t = Bigarray.Array1.size_in_bytes t.data

@@ -1,0 +1,29 @@
+(** Growable vector of non-negative ints backed by a [Bigarray].
+
+    The streaming {!Graph_builder} path appends tens of millions of
+    relationship endpoints before the final width is known; this vector keeps
+    them off the OCaml heap while growing (amortised doubling), then packs
+    into the narrowest {!Iarr} representation at freeze time. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val get : t -> int -> int
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val push : t -> int -> unit
+
+val to_iarr : t -> Iarr.t
+(** Pack the live prefix into an {!Iarr}, choosing 32-bit storage when the
+    maximum element fits. *)
+
+val to_array : t -> int array
+
+val sub_to_array : t -> pos:int -> len:int -> int array
+(** @raise Invalid_argument if the slice exceeds the live prefix. *)
+
+val size_in_bytes : t -> int
+(** Bytes of the backing store (capacity, not length). *)

@@ -10,6 +10,8 @@ let table_entry ~key_bytes ~value_bytes =
   (* key + value + bucket pointer + header overhead *)
   key_bytes + value_bytes + (2 * word)
 
+let bigarray1 a = Bigarray.Array1.size_in_bytes a + (2 * word)
+
 let to_string bytes =
   let b = float_of_int bytes in
   if b >= 1048576.0 then Printf.sprintf "%.1f MB" (b /. 1048576.0)

@@ -2,15 +2,32 @@ open Lpp_pgraph
 open Lpp_pattern
 open Lpp_util
 
+type truth =
+  | Exact of int
+  | Sampled of { mean : float; ci_low : float; ci_high : float; walks : int }
+
 type query = {
   id : int;
   pattern : Pattern.t;
   shape : Shape.t;
   size : int;
   true_card : int;
+  truth : truth;
 }
 
+let truth_value q =
+  match q.truth with
+  | Exact c -> float_of_int c
+  | Sampled { mean; _ } -> mean
+
+let truth_ci_width q =
+  match q.truth with
+  | Exact _ -> None
+  | Sampled { ci_low; ci_high; _ } -> Some (ci_high -. ci_low)
+
 type flavour = With_props | No_props
+
+type ground_truth = Exact_matching | Sampled_wj of { walks : int }
 
 type spec = {
   flavour : flavour;
@@ -18,6 +35,7 @@ type spec = {
   max_nodes : int;
   truth_budget : int;
   attempts : int;
+  ground_truth : ground_truth;
 }
 
 let default_spec flavour =
@@ -27,6 +45,7 @@ let default_spec flavour =
     max_nodes = 7;
     truth_budget = 30_000_000;
     attempts = 480;
+    ground_truth = Exact_matching;
   }
 
 let size_bucket size =
@@ -262,6 +281,42 @@ let generalize rng g flavour (s : sampled) =
   in
   Pattern.make ~nodes ~rels
 
+(* Generalisation restricted to the Wander-Join-supported fragment (directed,
+   single-typed relationships, at most one label per node, no properties):
+   when ground truth comes from sampling instead of exact matching, every
+   candidate must be estimable, so instead of dropping attributes freely we
+   keep each relationship's type and orientation and keep at most one label
+   per node (a random one, subject to the usual keep probability). *)
+let generalize_wj rng g (s : sampled) =
+  let label_keep = 0.15 +. Rng.float rng 0.85 in
+  let nodes =
+    Array.map
+      (fun nd ->
+        let ls = Graph.node_labels g nd in
+        let labels =
+          if Array.length ls = 0 then [||]
+          else if Rng.coin rng label_keep then
+            [| ls.(Rng.int rng (Array.length ls)) |]
+          else [||]
+        in
+        { Pattern.n_labels = labels; n_props = [||] })
+      s.s_nodes
+  in
+  let rels =
+    Array.map
+      (fun (r, src, dst) ->
+        {
+          Pattern.r_src = src;
+          r_dst = dst;
+          r_types = [| Graph.rel_type g r |];
+          r_directed = true;
+          r_props = [||];
+          r_hops = None;
+        })
+      s.s_rels
+  in
+  Pattern.make ~nodes ~rels
+
 (* -------------------------------------------------------------------- *)
 (* Step 4: ground truth + stratified sampling                            *)
 (* -------------------------------------------------------------------- *)
@@ -283,7 +338,12 @@ let generate ?jobs rng (ds : Lpp_datasets.Dataset.t) spec =
     match sample_subgraph rng g ~max_nodes:spec.max_nodes with
     | None -> None
     | Some s -> begin
-        match generalize rng g spec.flavour s with
+        let generalized =
+          match spec.ground_truth with
+          | Exact_matching -> generalize rng g spec.flavour s
+          | Sampled_wj _ -> generalize_wj rng g s
+        in
+        match generalized with
         | exception Invalid_argument _ -> None
         | pattern -> Some pattern
       end
@@ -298,7 +358,37 @@ let generate ?jobs rng (ds : Lpp_datasets.Dataset.t) spec =
         | Count c when c <= 0 ->
             (* cannot happen for anchored queries; skip defensively *)
             None
-        | Count c -> Some (pattern, c)
+        | Count c -> Some (pattern, Exact c)
+      end
+  in
+  let wj =
+    match spec.ground_truth with
+    | Exact_matching -> None
+    | Sampled_wj _ -> Some (Lpp_baselines.Wander_join.build g)
+  in
+  let truth_of_sampled ~walks wj = function
+    | None -> None
+    | Some (pattern, walk_rng) -> begin
+        match
+          Lpp_baselines.Wander_join.estimate_interval ~rng:walk_rng wj ~walks
+            pattern
+        with
+        | None -> None
+        | Some (iv : Lpp_baselines.Wander_join.interval) ->
+            if iv.mean <= 0.0 then
+              (* every walk died: the sample carries no signal, and a zero
+                 ground truth would make q-error meaningless *)
+              None
+            else
+              Some
+                ( pattern,
+                  Sampled
+                    {
+                      mean = iv.mean;
+                      ci_low = iv.ci_low;
+                      ci_high = iv.ci_high;
+                      walks = iv.n_walks;
+                    } )
       end
   in
   let remaining = ref spec.attempts in
@@ -309,18 +399,34 @@ let generate ?jobs rng (ds : Lpp_datasets.Dataset.t) spec =
     for i = 0 to k - 1 do
       patterns.(i) <- sample_attempt ()
     done;
+    let results =
+      match (spec.ground_truth, wj) with
+      | Exact_matching, _ ->
+          Lpp_util.Pool.parallel_map_array ?jobs truth_of patterns
+      | Sampled_wj { walks }, Some wj ->
+          (* per-candidate walk streams split off sequentially, so the
+             parallel truth batch is deterministic for every [jobs] value *)
+          let seeded = Array.make k None in
+          for i = 0 to k - 1 do
+            seeded.(i) <-
+              Option.map (fun p -> (p, Rng.split rng)) patterns.(i)
+          done;
+          Lpp_util.Pool.parallel_map_array ?jobs (truth_of_sampled ~walks wj)
+            seeded
+      | Sampled_wj _, None -> assert false
+    in
     Array.iter
       (function
         | None -> ()
-        | Some (pattern, c) ->
+        | Some (pattern, truth) ->
             incr n_candidates;
             candidates :=
-              (Shape.classify pattern, Pattern.size pattern, pattern, c)
+              (Shape.classify pattern, Pattern.size pattern, pattern, truth)
               :: !candidates)
-      (Lpp_util.Pool.parallel_map_array ?jobs truth_of patterns)
+      results
   done;
   (* stratified sampling over (coarse shape, size bucket) *)
-  let strata : (string, (Shape.t * int * Pattern.t * int) Queue.t) Hashtbl.t =
+  let strata : (string, (Shape.t * int * Pattern.t * truth) Queue.t) Hashtbl.t =
     Hashtbl.create 16
   in
   let shuffled = Array.of_list !candidates in
@@ -354,5 +460,10 @@ let generate ?jobs rng (ds : Lpp_datasets.Dataset.t) spec =
       queues
   done;
   List.rev !taken
-  |> List.mapi (fun id (shape, size, pattern, true_card) ->
-         { id; pattern; shape; size; true_card })
+  |> List.mapi (fun id (shape, size, pattern, truth) ->
+         let true_card =
+           match truth with
+           | Exact c -> c
+           | Sampled { mean; _ } -> max 1 (int_of_float (Float.round mean))
+         in
+         { id; pattern; shape; size; true_card; truth })

@@ -17,15 +17,35 @@
       are dropped liberally — CSets / WJ / SumRDF each support only a
       fraction, as in Section 6.2. *)
 
+(** Ground truth of one query: exact under Cypher semantics, or an unbiased
+    Wander-Join estimate with its 95% confidence interval (the large-tier
+    protocol, where exhaustive matching is infeasible and q-errors must be
+    read against the recorded sampling error). *)
+type truth =
+  | Exact of int
+  | Sampled of { mean : float; ci_low : float; ci_high : float; walks : int }
+
 type query = {
   id : int;
   pattern : Lpp_pattern.Pattern.t;
   shape : Lpp_pattern.Shape.t;
   size : int;  (** labels + relationships + property predicates *)
-  true_card : int;  (** ground truth under Cypher semantics *)
+  true_card : int;
+      (** [Exact] count, or the [Sampled] mean rounded (min 1) — kept so
+          size-bucketed reporting works identically at every tier *)
+  truth : truth;
 }
 
+val truth_value : query -> float
+(** The number q-errors are computed against: the exact count, or the
+    sampled mean. *)
+
+val truth_ci_width : query -> float option
+(** Width of the 95% CI for sampled ground truth; [None] when exact. *)
+
 type flavour = With_props | No_props
+
+type ground_truth = Exact_matching | Sampled_wj of { walks : int }
 
 type spec = {
   flavour : flavour;
@@ -33,10 +53,15 @@ type spec = {
   max_nodes : int;  (** template size upper bound, 7 in the paper *)
   truth_budget : int;  (** matcher step budget per candidate query *)
   attempts : int;  (** candidate queries to draw before stratifying *)
+  ground_truth : ground_truth;
+      (** [Sampled_wj] restricts generalisation to the Wander-Join-supported
+          fragment (directed single-typed relationships, ≤ 1 label per node,
+          no properties) so every candidate is estimable *)
 }
 
 val default_spec : flavour -> spec
-(** target 120, max_nodes 7, truth_budget 30M, attempts = 4 × target. *)
+(** target 120, max_nodes 7, truth_budget 30M, attempts = 4 × target,
+    exact ground truth. *)
 
 val generate :
   ?jobs:int -> Lpp_util.Rng.t -> Lpp_datasets.Dataset.t -> spec -> query list

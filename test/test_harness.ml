@@ -75,7 +75,8 @@ let test_summary_of_counts () =
   let p = simple_pattern () in
   let queries =
     [ { Lpp_workload.Query_gen.id = 0; pattern = p;
-        shape = Shape.classify p; size = Pattern.size p; true_card = 4 } ]
+        shape = Shape.classify p; size = Pattern.size p; true_card = 4;
+        truth = Lpp_workload.Query_gen.Exact 4 } ]
   in
   let tech = Lpp_harness.Technique.ours Lpp_core.Config.a_lhd ds.catalog in
   let ms = Lpp_harness.Runner.run ~measure_time:false tech queries in

@@ -25,4 +25,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite);
+      ("scale", Test_scale.suite);
     ]
