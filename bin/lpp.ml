@@ -433,6 +433,69 @@ let cmd_lint =
           $ props_arg $ smoke_arg $ scale_arg $ json $ config_arg $ file_arg
           $ patterns_arg)
 
+(* ---- srclint -------------------------------------------------------- *)
+
+let cmd_srclint =
+  let run root json suppress list_rules =
+    if list_rules then begin
+      if json then
+        print_endline (Lpp_util.Json.to_string (Lpp_srclint.Rules.to_json ()))
+      else print_string (Lpp_srclint.Rules.to_table ())
+    end
+    else begin
+      let report = Lpp_srclint.Srclint.run ~suppress ~root () in
+      let errors = Lpp_srclint.Srclint.errors report in
+      if json then
+        print_endline
+          (Lpp_util.Json.to_string (Lpp_srclint.Srclint.to_json report))
+      else begin
+        List.iter
+          (fun d -> Format.printf "%a@." Lpp_analysis.Diagnostic.pp d)
+          report.Lpp_srclint.Srclint.diagnostics;
+        Printf.printf "%d file(s), %d error(s), %d warning(s)\n"
+          (List.length report.Lpp_srclint.Srclint.files)
+          errors
+          (Lpp_srclint.Srclint.warnings report)
+      end;
+      Cli_common.exit_if_errors errors
+    end
+  in
+  let root =
+    Arg.(value & opt string "."
+         & info [ "root" ] ~docv:"DIR"
+             ~doc:"Project root; lib/, bin/ and bench/ below it are linted")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON") in
+  let suppress =
+    Arg.(value & opt_all string []
+         & info [ "suppress"; "S" ] ~docv:"CODE"
+             ~doc:"Suppress a rule for the whole run (repeatable), e.g. \
+                   $(b,-S D006); accepts D006 or LPP-D006")
+  in
+  let list_rules =
+    Arg.(value & flag
+         & info [ "list-rules" ]
+             ~doc:"Print the rule catalog (codes, severities, scopes) and exit")
+  in
+  Cmd.v
+    (Cmd.info "srclint"
+       ~doc:"Lint the project's own OCaml sources for concurrency and \
+             determinism convention violations"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Parses every .ml file under lib/, bin/ and bench/ \
+               (compiler-libs, parse-only — no typing) and walks the ASTs \
+               enforcing the LPP-Dxxx rule set: annotated top-level mutable \
+               state, pool-owned Domain.spawn, exception-safe locking via \
+               Lpp_util.Sync.with_lock, monotonic Lpp_util.Clock instead of \
+               wall time, explicit seeded Random.State, silent libraries, \
+               no catch-all exception handlers. Exits 1 if any \
+               error-severity diagnostic survives suppression, mirroring \
+               $(b,lpp lint). Suppress per site with [@lpp.allow \"D006 \
+               reason\"] / justify globals with [@@lpp.domain_safe \
+               \"reason\"], or per run with $(b,--suppress)." ])
+    Term.(const run $ root $ json $ suppress $ list_rules)
+
 (* ---- trace ---------------------------------------------------------- *)
 
 let cmd_trace =
@@ -729,4 +792,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ cmd_datasets; cmd_workload; cmd_estimate; cmd_plan; cmd_query;
-            cmd_export; cmd_lint; cmd_trace; cmd_serve; cmd_stats ]))
+            cmd_export; cmd_lint; cmd_srclint; cmd_trace; cmd_serve;
+            cmd_stats ]))

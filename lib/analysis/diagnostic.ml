@@ -1,6 +1,10 @@
 type severity = Error | Warning | Hint
 
-type location = Op of int | Stats of string | Sequence
+type location =
+  | Op of int
+  | Stats of string
+  | Sequence
+  | Src of { file : string; line : int }
 
 type t = {
   severity : severity;
@@ -26,14 +30,27 @@ let has_errors ds = List.exists is_error ds
 let count sev ds =
   List.fold_left (fun acc d -> if d.severity = sev then acc + 1 else acc) 0 ds
 
-let loc_rank = function Op i -> i | Stats _ | Sequence -> max_int
+let loc_rank = function Op i -> i | Stats _ | Sequence | Src _ -> max_int
 
-let sort ds = List.stable_sort (fun a b -> compare (loc_rank a.loc) (loc_rank b.loc)) ds
+(* Src diagnostics additionally order by (file, line); every other location
+   compares equal here so the stable sort preserves incoming order. *)
+let src_key = function Src { file; line } -> (file, line) | _ -> ("", 0)
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      match compare (loc_rank a.loc) (loc_rank b.loc) with
+      | 0 -> compare (src_key a.loc) (src_key b.loc)
+      | c -> c)
+    ds
 
 let pp_loc ppf = function
   | Op i -> Format.fprintf ppf "op %d" i
   | Stats s -> Format.fprintf ppf "stats:%s" s
   | Sequence -> Format.fprintf ppf "sequence"
+  | Src { file; line } ->
+      if line = 0 then Format.fprintf ppf "%s" file
+      else Format.fprintf ppf "%s:%d" file line
 
 let pp ppf d =
   Format.fprintf ppf "[%s] %s @@ %a: %s"
@@ -49,6 +66,8 @@ let to_json d =
     | Op i -> Printf.sprintf "\"op\":%d," i
     | Stats s -> Printf.sprintf "\"stats\":\"%s\"," (json_escape s)
     | Sequence -> ""
+    | Src { file; line } ->
+        Printf.sprintf "\"file\":\"%s\",\"line\":%d," (json_escape file) line
   in
   Printf.sprintf "{\"severity\":\"%s\",\"code\":\"%s\",%s\"message\":\"%s\"}"
     (severity_string d.severity)

@@ -14,6 +14,9 @@ type location =
   | Op of int  (** operator index in the analysed sequence *)
   | Stats of string  (** catalog component, e.g. ["hierarchy"] *)
   | Sequence  (** the sequence (or catalog) as a whole *)
+  | Src of { file : string; line : int }
+      (** a position in one of the project's own source files (the source
+          linter, [D] codes); [line] is 1-based, 0 = whole file *)
 
 type t = {
   severity : severity;
@@ -41,8 +44,8 @@ val count : severity -> t list -> int
 
 val sort : t list -> t list
 (** Stable sort by location: operator diagnostics in op order first, then
-    statistics/whole-sequence ones. Within one location the incoming order
-    is preserved. *)
+    statistics/whole-sequence ones; source diagnostics order by file, then
+    line. Within one location the incoming order is preserved. *)
 
 val pp : Format.formatter -> t -> unit
 (** One line: [[severity] CODE @ loc: message]. *)
@@ -53,8 +56,9 @@ val json_escape : string -> string
 val to_json : t -> string
 (** One JSON object, e.g.
     [{"severity":"error","code":"LPP-A101","op":3,"message":"..."}] — the
-    location key is ["op"] (int) or ["stats"] (string) and is absent for
-    whole-sequence diagnostics. Strings are escaped per RFC 8259. *)
+    location key is ["op"] (int), ["stats"] (string), or ["file"]/["line"]
+    for source diagnostics, and is absent for whole-sequence diagnostics.
+    Strings are escaped per RFC 8259. *)
 
 val list_to_json : t list -> string
 (** JSON array of {!to_json} objects. *)

@@ -212,3 +212,6 @@ let summary () =
   Buffer.contents buf
 
 let print_summary () = print_string (summary ())
+[@@lpp.allow
+  "D006 the lpp-trace text sink: the CLI calls this to put the summary on \
+   stdout"]

@@ -6,6 +6,9 @@
    through [Obs.enabled]. *)
 
 let flag = ref false
+[@@lpp.domain_safe
+  "the global observability switch; flipped only at quiescent points and \
+   read as one word (module header)"]
 
 let[@inline] enabled () = !flag
 

@@ -49,32 +49,29 @@ let bucket_hi i = 2.0 ** float_of_int i
 let mutex = Mutex.create ()
 
 let by_name : (string, metric) Hashtbl.t = Hashtbl.create 64
+[@@lpp.domain_safe "registry table; every access holds [mutex]"]
 
 let metrics : metric list ref = ref []
+[@@lpp.domain_safe "registry list; every access holds [mutex]"]
 
 let metric_count = ref 0
+[@@lpp.domain_safe "guarded by [mutex]"]
 
 let register kind name =
-  Mutex.lock mutex;
-  let m =
-    match Hashtbl.find_opt by_name name with
-    | Some m ->
-        if m.kind <> kind then begin
-          Mutex.unlock mutex;
-          invalid_arg
-            (Printf.sprintf "Metrics: %S already registered with another kind"
-               name)
-        end;
-        m
-    | None ->
-        let m = { id = !metric_count; name; kind } in
-        incr metric_count;
-        Hashtbl.add by_name name m;
-        metrics := m :: !metrics;
-        m
-  in
-  Mutex.unlock mutex;
-  m
+  Lpp_util.Sync.with_lock mutex (fun () ->
+      match Hashtbl.find_opt by_name name with
+      | Some m ->
+          if m.kind <> kind then
+            invalid_arg
+              (Printf.sprintf "Metrics: %S already registered with another kind"
+                 name);
+          m
+      | None ->
+          let m = { id = !metric_count; name; kind } in
+          incr metric_count;
+          Hashtbl.add by_name name m;
+          metrics := m :: !metrics;
+          m)
 
 let counter name : counter = register Counter name
 
@@ -93,12 +90,13 @@ type cell = {
 type shard = { mutable cells : cell option array }
 
 let shards : shard list ref = ref []
+[@@lpp.domain_safe
+  "shard registry: registration holds [mutex]; merged reads assume \
+   quiescence (see module header)"]
 
 let make_shard () =
   let sh = { cells = Array.make 64 None } in
-  Mutex.lock mutex;
-  shards := sh :: !shards;
-  Mutex.unlock mutex;
+  Lpp_util.Sync.with_lock mutex (fun () -> shards := sh :: !shards);
   sh
 
 let shard_key = Domain.DLS.new_key make_shard
@@ -147,17 +145,13 @@ let observe h x =
 (* ---- merged reads --------------------------------------------------- *)
 
 let fold_cells (m : metric) ~init ~f =
-  Mutex.lock mutex;
-  let acc =
-    List.fold_left
-      (fun acc sh ->
-        if m.id < Array.length sh.cells then
-          match sh.cells.(m.id) with Some c -> f acc c | None -> acc
-        else acc)
-      init !shards
-  in
-  Mutex.unlock mutex;
-  acc
+  Lpp_util.Sync.with_lock mutex (fun () ->
+      List.fold_left
+        (fun acc sh ->
+          if m.id < Array.length sh.cells then
+            match sh.cells.(m.id) with Some c -> f acc c | None -> acc
+          else acc)
+        init !shards)
 
 let value (m : metric) =
   match m.kind with
@@ -203,9 +197,7 @@ type snapshot = {
 }
 
 let snapshot () =
-  Mutex.lock mutex;
-  let all = List.rev !metrics in
-  Mutex.unlock mutex;
+  let all = Lpp_util.Sync.with_lock mutex (fun () -> List.rev !metrics) in
   let by_kind k = List.filter (fun m -> m.kind = k) all in
   let named f ms =
     List.sort
@@ -219,16 +211,15 @@ let snapshot () =
   }
 
 let reset () =
-  Mutex.lock mutex;
-  List.iter
-    (fun sh ->
-      Array.iter
-        (function
-          | None -> ()
-          | Some c ->
-              c.v <- 0;
-              c.sum <- 0.0;
-              Array.fill c.hist 0 (Array.length c.hist) 0)
-        sh.cells)
-    !shards;
-  Mutex.unlock mutex
+  Lpp_util.Sync.with_lock mutex (fun () ->
+      List.iter
+        (fun sh ->
+          Array.iter
+            (function
+              | None -> ()
+              | Some c ->
+                  c.v <- 0;
+                  c.sum <- 0.0;
+                  Array.fill c.hist 0 (Array.length c.hist) 0)
+            sh.cells)
+        !shards)

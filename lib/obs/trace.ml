@@ -32,6 +32,7 @@ let epoch = Lpp_util.Clock.now_ns ()
 let default_capacity = 1 lsl 16
 
 let capacity = ref default_capacity
+[@@lpp.domain_safe "set from quiescent points only, before rings exist"]
 
 let set_capacity n =
   if n < 1 then invalid_arg "Trace.set_capacity";
@@ -54,28 +55,31 @@ type dom_state = {
 let registry_mutex = Mutex.create ()
 
 let states : dom_state list ref = ref []
+[@@lpp.domain_safe
+  "ring registry: registration holds [registry_mutex]; merging assumes \
+   quiescence (see module header)"]
 
 let next_id = ref 0
+[@@lpp.domain_safe "guarded by [registry_mutex]"]
 
 let make_state () =
-  Mutex.lock registry_mutex;
-  let id = !next_id in
-  incr next_id;
-  let st =
-    {
-      id;
-      buf = Array.make !capacity dummy;
-      len = 0;
-      dropped = 0;
-      stack_name = Array.make 64 "";
-      stack_cat = Array.make 64 "";
-      stack_ts = Array.make 64 0L;
-      depth = 0;
-    }
-  in
-  states := st :: !states;
-  Mutex.unlock registry_mutex;
-  st
+  Lpp_util.Sync.with_lock registry_mutex (fun () ->
+      let id = !next_id in
+      incr next_id;
+      let st =
+        {
+          id;
+          buf = Array.make !capacity dummy;
+          len = 0;
+          dropped = 0;
+          stack_name = Array.make 64 "";
+          stack_cat = Array.make 64 "";
+          stack_ts = Array.make 64 0L;
+          depth = 0;
+        }
+      in
+      states := st :: !states;
+      st)
 
 let key = Domain.DLS.new_key make_state
 
@@ -147,13 +151,12 @@ let with_span ?cat ?args name f =
 (* ---- collection (quiescent side) ------------------------------------ *)
 
 let spans () =
-  Mutex.lock registry_mutex;
   let all =
-    List.concat_map
-      (fun st -> Array.to_list (Array.sub st.buf 0 st.len))
-      !states
+    Lpp_util.Sync.with_lock registry_mutex (fun () ->
+        List.concat_map
+          (fun st -> Array.to_list (Array.sub st.buf 0 st.len))
+          !states)
   in
-  Mutex.unlock registry_mutex;
   List.sort
     (fun a b ->
       match Int64.compare a.ts b.ts with
@@ -162,17 +165,14 @@ let spans () =
     all
 
 let dropped () =
-  Mutex.lock registry_mutex;
-  let n = List.fold_left (fun acc st -> acc + st.dropped) 0 !states in
-  Mutex.unlock registry_mutex;
-  n
+  Lpp_util.Sync.with_lock registry_mutex (fun () ->
+      List.fold_left (fun acc st -> acc + st.dropped) 0 !states)
 
 let clear () =
-  Mutex.lock registry_mutex;
-  List.iter
-    (fun st ->
-      st.len <- 0;
-      st.dropped <- 0;
-      st.depth <- 0)
-    !states;
-  Mutex.unlock registry_mutex
+  Lpp_util.Sync.with_lock registry_mutex (fun () ->
+      List.iter
+        (fun st ->
+          st.len <- 0;
+          st.dropped <- 0;
+          st.depth <- 0)
+        !states)

@@ -98,28 +98,26 @@ type t = {
 (* ---- queues ---------------------------------------------------------- *)
 
 let enqueue w job =
-  Mutex.lock w.mu;
-  (match job with Line _ -> w.queued_lines <- w.queued_lines + 1 | _ -> ());
-  Queue.push job w.jobs;
-  Condition.signal w.cv;
-  Mutex.unlock w.mu
+  Sync.with_lock w.mu (fun () ->
+      (match job with Line _ -> w.queued_lines <- w.queued_lines + 1 | _ -> ());
+      Queue.push job w.jobs;
+      Condition.signal w.cv)
 
 (* Up to [batch] jobs in arrival order; [] only at shutdown. *)
 let drain st w ~batch =
-  Mutex.lock w.mu;
-  while Queue.is_empty w.jobs && not (Atomic.get st.reader_done) do
-    Condition.wait w.cv w.mu
-  done;
-  let out = ref [] in
-  let n = ref 0 in
-  while !n < batch && not (Queue.is_empty w.jobs) do
-    let job = Queue.pop w.jobs in
-    (match job with Line _ -> w.queued_lines <- w.queued_lines - 1 | _ -> ());
-    out := job :: !out;
-    incr n
-  done;
-  Mutex.unlock w.mu;
-  List.rev !out
+  Sync.with_lock w.mu (fun () ->
+      while Queue.is_empty w.jobs && not (Atomic.get st.reader_done) do
+        Condition.wait w.cv w.mu
+      done;
+      let out = ref [] in
+      let n = ref 0 in
+      while !n < batch && not (Queue.is_empty w.jobs) do
+        let job = Queue.pop w.jobs in
+        (match job with Line _ -> w.queued_lines <- w.queued_lines - 1 | _ -> ());
+        out := job :: !out;
+        incr n
+      done;
+      List.rev !out)
 
 (* ---- worker ---------------------------------------------------------- *)
 
@@ -239,10 +237,8 @@ let answer st w sessions line =
                 s
           in
           let parsed =
-            Mutex.lock st.parse_mu;
-            Fun.protect
-              ~finally:(fun () -> Mutex.unlock st.parse_mu)
-              (fun () -> Lpp_pattern.Parse.parse st.graph pattern)
+            Sync.with_lock st.parse_mu (fun () ->
+                Lpp_pattern.Parse.parse st.graph pattern)
           in
           match parsed with
           | Error msg ->
@@ -329,10 +325,7 @@ let feed st conn bytes n =
       enqueue w (Reject (conn, Protocol.rejected ~id:None ~reason:"oversized"))
     else begin
       let full =
-        Mutex.lock w.mu;
-        let f = w.queued_lines >= st.cfg.max_pending in
-        Mutex.unlock w.mu;
-        f
+        Sync.with_lock w.mu (fun () -> w.queued_lines >= st.cfg.max_pending)
       in
       if full then
         enqueue w (Reject (conn, Protocol.rejected ~id:None ~reason:"overloaded"))
@@ -411,10 +404,7 @@ let reader_loop st =
   Hashtbl.iter (fun _ conn -> enqueue st.workers.(conn.owner) (Close conn)) conns;
   Atomic.set st.reader_done true;
   Array.iter
-    (fun w ->
-      Mutex.lock w.mu;
-      Condition.broadcast w.cv;
-      Mutex.unlock w.mu)
+    (fun w -> Sync.with_lock w.mu (fun () -> Condition.broadcast w.cv))
     st.workers
 
 (* ---- lifecycle ------------------------------------------------------- *)

@@ -1,0 +1,45 @@
+(** The per-file AST pass behind {!Srclint}.
+
+    Each [.ml] file is parsed into a [Parsetree.structure] with
+    [compiler-libs] and walked twice: an explicit structure walk for
+    LPP-D001 (top-level mutable state — "top level" is precise by
+    construction: reachable from the root structure through module bindings
+    only, never through an expression), and an [Ast_iterator] pass for the
+    expression-level rules (D002–D007) plus attribute well-formedness
+    (D008).
+
+    Suppression, innermost scope first:
+    - [[@lpp.allow "Dxxx reason"]] on an expression, or
+      [[@@lpp.allow "Dxxx reason"]] on a [let] binding, suppresses [Dxxx]
+      within that subtree;
+    - [[@@@lpp.allow "Dxxx reason"]] suppresses [Dxxx] for the rest of the
+      enclosing module;
+    - [[@@lpp.domain_safe "reason"]] on a top-level binding justifies its
+      mutable state (D001 only);
+    - [~suppress] disables codes for the whole run (the CLI's
+      [--suppress]);
+    - {!Rules.allowlist} exempts (file, code) pairs that are correct by
+      design.
+
+    Suppressing an unknown code, or suppressing without a reason string, is
+    itself reported (D008, warning). *)
+
+val lint_string :
+  ?suppress:string list ->
+  path:string ->
+  string ->
+  Lpp_analysis.Diagnostic.t list
+(** [lint_string ~path src] lints one compilation unit given as a string.
+    [path] decides rule scope (rules marked [Lib_only] fire only when it
+    starts with ["lib/"]) and the {!Rules.allowlist} match, and is the
+    [file] of every emitted location. [suppress] takes codes in any form
+    accepted by {!Rules.normalize_code}. Diagnostics come back in source
+    order. *)
+
+val lint_file :
+  ?suppress:string list ->
+  root:string ->
+  string ->
+  Lpp_analysis.Diagnostic.t list
+(** [lint_file ~root rel_path] reads [root ^ "/" ^ rel_path] and lints it as
+    [lint_string ~path:rel_path]. *)

@@ -1,0 +1,45 @@
+(** The source-lint rule catalog.
+
+    Every rule has a stable [LPP-Dxxx] code (contractual, like the [A]/[C]/[S]
+    families in {!Lpp_analysis}: codes never change meaning), a severity, a
+    scope — some rules only apply to library code under [lib/], where the
+    determinism and silence conventions are strict — and the prose the
+    [--list-rules] flag and DESIGN.md §14 print. *)
+
+type scope =
+  | Lib_only  (** enforced for files under [lib/] only *)
+  | Everywhere  (** enforced for [lib/], [bin/] and [bench/] *)
+
+type t = {
+  code : string;  (** stable, e.g. ["LPP-D003"] *)
+  severity : Lpp_analysis.Diagnostic.severity;
+  scope : scope;
+  title : string;  (** one line, imperative *)
+  rationale : string;  (** why the rule exists, for [--list-rules] and docs *)
+}
+
+val all : t list
+(** Every rule, in code order. *)
+
+val find : string -> t option
+(** Lookup by normalized code. *)
+
+val normalize_code : string -> string
+(** ["D003"] / ["d003"] / ["LPP-D003"] -> ["LPP-D003"]. Unknown strings are
+    returned prefixed but unvalidated; pair with {!find} to validate. *)
+
+val allowlist : (string * string) list
+(** [(path suffix, code)] pairs exempt by design — e.g. [lib/util/pool.ml]
+    and [lib/serve/server.ml] may call [Domain.spawn] (LPP-D002), and
+    [lib/util/sync.ml] is the one implementation allowed to touch
+    [Mutex.lock] (LPP-D003). Paths match by suffix on ['/']-separated
+    normalized paths. *)
+
+val allowlisted : path:string -> string -> bool
+(** [allowlisted ~path code] — is [code] exempt in [path] by {!allowlist}? *)
+
+val to_table : unit -> string
+(** The rule catalog as an ASCII table (the [--list-rules] text output). *)
+
+val to_json : unit -> Lpp_util.Json.t
+(** The rule catalog as JSON (the [--list-rules --json] output). *)

@@ -1,0 +1,23 @@
+let default_dirs = [ "lib"; "bin"; "bench" ]
+
+let skip_dir name =
+  name = "_build" || name = "_opam"
+  || (String.length name > 0 && name.[0] = '.')
+
+let discover ?(dirs = default_dirs) ~root () =
+  let acc = ref [] in
+  let rec walk rel =
+    let full = Filename.concat root rel in
+    match Sys.is_directory full with
+    | true ->
+        Array.iter
+          (fun entry ->
+            if not (skip_dir entry) then walk (rel ^ "/" ^ entry))
+          (Sys.readdir full)
+    | false -> if Filename.check_suffix rel ".ml" then acc := rel :: !acc
+    | exception Sys_error _ -> ()
+  in
+  List.iter
+    (fun d -> if Sys.file_exists (Filename.concat root d) then walk d)
+    dirs;
+  List.sort String.compare !acc

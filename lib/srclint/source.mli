@@ -1,0 +1,15 @@
+(** Source discovery for the linter.
+
+    Finds the [.ml] files under a project root that the rule set governs —
+    by default everything beneath [lib/], [bin/] and [bench/] — skipping
+    build artefacts ([_build], [_opam], dot-directories). Paths come back
+    root-relative with ['/'] separators, sorted, so a lint run is
+    deterministic regardless of filesystem order. *)
+
+val default_dirs : string list
+(** [["lib"; "bin"; "bench"]] — the directories the conventions cover. *)
+
+val discover : ?dirs:string list -> root:string -> unit -> string list
+(** Root-relative paths of every [.ml] file under [dirs] (those that exist),
+    recursively, sorted. Directories named [_build] or [_opam], and entries
+    starting with ['.'], are skipped. *)

@@ -1,0 +1,39 @@
+module D = Lpp_analysis.Diagnostic
+
+type report = {
+  root : string;
+  files : string list;
+  diagnostics : D.t list;
+}
+
+let run ?(suppress = []) ?dirs ~root () =
+  let files = Source.discover ?dirs ~root () in
+  let diagnostics =
+    List.concat_map (fun f -> Check.lint_file ~suppress ~root f) files
+  in
+  { root; files; diagnostics = D.sort diagnostics }
+
+let errors r = D.count D.Error r.diagnostics
+
+let warnings r = D.count D.Warning r.diagnostics
+
+let to_json r =
+  let open Lpp_util.Json in
+  Obj
+    [
+      ("root", String r.root);
+      ("files", Int (List.length r.files));
+      ("errors", Int (errors r));
+      ("warnings", Int (warnings r));
+      ( "diagnostics",
+        (* Diagnostic.to_json is the shared hand-rendered emitter; parse its
+           output back into the tree so one emitter serves both paths. *)
+        List
+          (List.map
+             (fun d ->
+               match of_string (D.to_json d) with
+               | Ok j -> j
+               | Error msg ->
+                   failwith ("Srclint.to_json: diagnostic did not round-trip: " ^ msg))
+             r.diagnostics) );
+    ]

@@ -595,10 +595,7 @@ let partition t = t.partition
 let props t = t.props
 
 let triangles t =
-  Mutex.lock t.tri_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.tri_mutex)
-    (fun () ->
+  Lpp_util.Sync.with_lock t.tri_mutex (fun () ->
       match t.tri with
       | Some stats -> stats
       | None ->

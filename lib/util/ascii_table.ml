@@ -64,3 +64,6 @@ let print ?title t =
       print_endline (String.make (String.length title) '=')
   | None -> ());
   print_string (render t)
+[@@lpp.allow
+  "D006 this module IS the CLI's table sink; every subcommand prints \
+   through it"]

@@ -10,11 +10,17 @@
    Determinism contract: chunk boundaries depend only on [(jobs, n)], results
    are stored by chunk index and returned in chunk order, so any
    order-sensitive reduction performed by the caller sees the exact sequence
-   the sequential ([jobs = 1]) path produces. *)
+   the sequential ([jobs = 1]) path produces.
+
+   Locking: every critical section goes through [Sync.with_lock], so a
+   raising body (a monitor callback, a chunk function) can never leave
+   [mutex] held. [Condition.wait] is called inside the critical section —
+   it releases and reacquires the mutex itself. *)
 
 let clamp_jobs j = if j < 1 then 1 else j
 
 let override = Atomic.make None
+[@@lpp.domain_safe "one Atomic holding the --jobs override; no torn reads"]
 
 let set_default_jobs j = Atomic.set override (Some (clamp_jobs j))
 
@@ -51,6 +57,7 @@ let resolve_jobs = function
 let monitor :
     (helped:bool -> queue_depth:int -> (unit -> unit) -> unit) option Atomic.t =
   Atomic.make None
+[@@lpp.domain_safe "one Atomic holding the obs-layer task monitor"]
 
 let set_monitor m = Atomic.set monitor m
 
@@ -72,56 +79,58 @@ let cond = Condition.create ()
    the task publishes its completion — a caller that has seen all its chunks
    complete must also see every monitor fully unwound (spans recorded). *)
 let queue : (helped:bool -> queue_depth:int -> unit) Queue.t = Queue.create ()
+[@@lpp.domain_safe "shared task queue; every access holds [mutex]"]
 
 let stopping = ref false
+[@@lpp.domain_safe "guarded by [mutex]"]
 
 let workers : unit Domain.t list ref = ref []
+[@@lpp.domain_safe "worker registry; mutated under [mutex] or at-exit only"]
 
 let worker_count = ref 0
+[@@lpp.domain_safe "guarded by [mutex]"]
 
-(* Tasks are pre-wrapped and never raise. *)
+(* Tasks are pre-wrapped and never raise (run_chunk catches everything). *)
 let rec worker_loop () =
-  Mutex.lock mutex;
-  let task = ref None in
-  let depth = ref 0 in
-  while !task = None && not !stopping do
-    match Queue.take_opt queue with
-    | Some t ->
-        task := Some t;
-        depth := Queue.length queue
-    | None -> Condition.wait cond mutex
-  done;
-  Mutex.unlock mutex;
-  match !task with
+  let task =
+    Sync.with_lock mutex (fun () ->
+        let rec next () =
+          if !stopping then None
+          else
+            match Queue.take_opt queue with
+            | Some t -> Some (t, Queue.length queue)
+            | None ->
+                Condition.wait cond mutex;
+                next ()
+        in
+        next ())
+  in
+  match task with
   | None -> ()
-  | Some t ->
-      t ~helped:false ~queue_depth:!depth;
+  | Some (t, depth) ->
+      t ~helped:false ~queue_depth:depth;
       worker_loop ()
 
 let ensure_workers n =
-  Mutex.lock mutex;
-  let missing = n - !worker_count in
-  if missing > 0 then begin
-    worker_count := n;
-    for _ = 1 to missing do
-      workers := Domain.spawn worker_loop :: !workers
-    done
-  end;
-  Mutex.unlock mutex
+  Sync.with_lock mutex (fun () ->
+      let missing = n - !worker_count in
+      if missing > 0 then begin
+        worker_count := n;
+        for _ = 1 to missing do
+          workers := Domain.spawn worker_loop :: !workers
+        done
+      end)
 
 (* Wake the workers and join them so process exit never races a domain that
    is still blocked on [cond]. *)
 let shutdown () =
-  Mutex.lock mutex;
-  stopping := true;
-  Condition.broadcast cond;
-  Mutex.unlock mutex;
+  Sync.with_lock mutex (fun () ->
+      stopping := true;
+      Condition.broadcast cond);
   List.iter Domain.join !workers;
   workers := [];
   worker_count := 0;
-  Mutex.lock mutex;
-  stopping := false;
-  Mutex.unlock mutex
+  Sync.with_lock mutex (fun () -> stopping := false)
 
 let () = at_exit shutdown
 
@@ -145,44 +154,60 @@ let parallel_chunks ?jobs ~n f =
       | exception e -> Error e
     in
     let finish i outcome =
-      Mutex.lock mutex;
-      (match outcome with
-      | Ok v -> results.(i) <- Some v
-      | Error e -> if !first_exn = None then first_exn := Some e);
-      decr pending;
-      Condition.broadcast cond;
-      Mutex.unlock mutex
+      Sync.with_lock mutex (fun () ->
+          (match outcome with
+          | Ok v -> results.(i) <- Some v
+          | Error e -> if !first_exn = None then first_exn := Some e);
+          decr pending;
+          Condition.broadcast cond)
     in
     (* Monitor around the computation only: completion must be published
        after the monitor has fully unwound, or a caller could merge spans
-       while a worker is still recording its last one. *)
+       while a worker is still recording its last one. A monitor that raises
+       (or fails to run its task) is reported to the caller as the chunk's
+       outcome instead of killing the worker domain that drew the task. *)
     let run_chunk i ~helped ~queue_depth =
       let outcome = ref None in
-      run_task ~helped ~queue_depth (fun () -> outcome := Some (compute i ()));
-      match !outcome with
-      | Some o -> finish i o
-      | None -> assert false (* the monitor runs its task exactly once *)
+      let monitor_exn =
+        match
+          run_task ~helped ~queue_depth (fun () -> outcome := Some (compute i ()))
+        with
+        | () -> None
+        | exception e -> Some e
+      in
+      finish i
+        (match (!outcome, monitor_exn) with
+        | Some o, None -> o
+        | _, Some e -> Error e
+        | None, None -> Error (Failure "Pool: monitor dropped its task"))
     in
-    Mutex.lock mutex;
-    for i = 1 to k - 1 do
-      Queue.add (run_chunk i) queue
-    done;
-    Condition.broadcast cond;
-    Mutex.unlock mutex;
+    Sync.with_lock mutex (fun () ->
+        for i = 1 to k - 1 do
+          Queue.add (run_chunk i) queue
+        done;
+        Condition.broadcast cond);
     (* The caller computes chunk 0 itself (inline, unmonitored), then helps
        drain the queue until its own chunks are done. *)
     finish 0 (compute 0 ());
-    Mutex.lock mutex;
-    while !pending > 0 do
-      match Queue.take_opt queue with
-      | Some t ->
-          let depth = Queue.length queue in
-          Mutex.unlock mutex;
+    let rec help () =
+      let action =
+        Sync.with_lock mutex (fun () ->
+            if !pending = 0 then `Done
+            else
+              match Queue.take_opt queue with
+              | Some t -> `Run (t, Queue.length queue)
+              | None ->
+                  Condition.wait cond mutex;
+                  `Again)
+      in
+      match action with
+      | `Done -> ()
+      | `Again -> help ()
+      | `Run (t, depth) ->
           t ~helped:true ~queue_depth:depth;
-          Mutex.lock mutex
-      | None -> Condition.wait cond mutex
-    done;
-    Mutex.unlock mutex;
+          help ()
+    in
+    help ();
     match !first_exn with
     | Some e -> raise e
     | None ->

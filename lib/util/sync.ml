@@ -1,0 +1,7 @@
+(* The one place in the tree allowed to call Mutex.lock directly: everything
+   else goes through [with_lock] so a raising critical section can never
+   leave its mutex held (srclint rule LPP-D003 enforces this). *)
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f

@@ -1,0 +1,32 @@
+(** Exception-safe mutual exclusion.
+
+    [with_lock] is the only sanctioned way to hold a [Mutex.t] in this code
+    base: a bare [Mutex.lock … Mutex.unlock] pair leaks the lock — and
+    deadlocks every future contender — the moment the critical section
+    raises. The source linter ({!Lpp_srclint}, rule [LPP-D003]) rejects bare
+    [Mutex.lock] outside this module's implementation.
+
+    [Condition.wait] may be called inside the critical section (it releases
+    and reacquires the mutex itself), so waiting loops convert directly:
+
+    {[
+      Sync.with_lock m (fun () ->
+          while not (ready ()) do Condition.wait cv m done;
+          take ())
+    ]}
+
+    The companion convention for the state a mutex protects: every
+    top-level mutable binding in [lib/] carries
+    [[@@lpp.domain_safe "reason"]], where the reason names the
+    synchronisation discipline — "guarded by [mu]", "per-domain via DLS",
+    "flipped only at quiescent points" — that makes the global safe under
+    multiple domains. The linter (rule [LPP-D001]) rejects unannotated
+    globals, exactly as {!Lpp_util.Clock}'s header bans wall-clock reads
+    (rule [LPP-D004]). *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+(** [with_lock m f] runs [f ()] with [m] held and returns its result. The
+    mutex is released on every exit path, normal or raising; an exception
+    from [f] is re-raised with its original backtrace ([Fun.protect]).
+    Not reentrant — OCaml mutexes are not recursive, so [f] must not call
+    [with_lock m] on the same mutex. *)

@@ -22,6 +22,7 @@ let () =
       ("formulas", Test_formulas.suite);
       ("properties", Test_properties.suite);
       ("analysis", Test_analysis.suite);
+      ("srclint", Test_srclint.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite);
